@@ -1,0 +1,450 @@
+// Benchmarks: one per reproduced table, figure, and quantified claim (the
+// experiment index of DESIGN.md §4), plus the design-choice ablations of
+// DESIGN.md §5. Each benchmark regenerates its artifact end to end, so
+// `go test -bench=. -benchmem` doubles as the full reproduction run with
+// per-artifact cost accounting.
+package nanometer_test
+
+import (
+	"testing"
+
+	"nanometer/internal/core"
+	"nanometer/internal/cvs"
+	"nanometer/internal/device"
+	"nanometer/internal/dualvth"
+	"nanometer/internal/experiments"
+	"nanometer/internal/gate"
+	"nanometer/internal/itrs"
+	"nanometer/internal/logicsim"
+	"nanometer/internal/netlist"
+	"nanometer/internal/powergrid"
+	"nanometer/internal/rcsim"
+	"nanometer/internal/repeater"
+	"nanometer/internal/resize"
+	"nanometer/internal/sta"
+	"nanometer/internal/units"
+	"nanometer/internal/wire"
+)
+
+// --- Tables -------------------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 9 {
+			b.Fatalf("bad row count %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil || len(rows) != 7 {
+			b.Fatalf("table2: %v (%d rows)", err, len(rows))
+		}
+	}
+}
+
+// --- Figures ------------------------------------------------------------------
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure3And4(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	// Figure 4 shares the sweep with Figure 3; benchmarked separately at a
+	// finer supply grid to expose the policy-solver cost.
+	grid := make([]float64, 41)
+	for i := range grid {
+		grid[i] = 0.2 + 0.01*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure3And4(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Claims -------------------------------------------------------------------
+
+func BenchmarkClaimDTM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DTM(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimSignaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Signaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimLibopt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLibrary(experiments.DefaultCircuitSetup()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimCVS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCVS(experiments.DefaultCircuitSetup()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimDualVth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDualVth(experiments.DefaultCircuitSetup()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimResize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunResizeVsVdd(experiments.DefaultCircuitSetup()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimVddFloor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunVddFloor(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimBumps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBumps(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimTransients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTransients(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------------
+
+// Ablation 1: electrical vs physical oxide thickness in the Vth solve.
+func BenchmarkAblationMetalGate(b *testing.B) {
+	d := device.MustForNode(35)
+	node := itrs.MustNode(35)
+	for i := 0; i < b.N; i++ {
+		if _, err := d.SolveVthForIon(node.IonTargetAPerM, node.Vdd, units.RoomTemperature); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.MetalGate().SolveVthForIon(node.IonTargetAPerM, node.Vdd, units.RoomTemperature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 2: DIBL on/off in the leakage model.
+func BenchmarkAblationDIBL(b *testing.B) {
+	d := device.MustForNode(35)
+	noDIBL := *d
+	noDIBL.DIBL = 0
+	for i := 0; i < b.N; i++ {
+		withD := d.IoffPerWidth(0.3, units.RoomTemperature)
+		without := noDIBL.IoffPerWidth(0.3, units.RoomTemperature)
+		if withD >= without {
+			b.Fatalf("DIBL must reduce Ioff at reduced drain bias: %g vs %g", withD, without)
+		}
+	}
+}
+
+// Ablation 3: subthreshold-swing temperature scaling in Figure 1.
+func BenchmarkAblationSwingTemperature(b *testing.B) {
+	g, err := gate.ReferenceInverter(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := itrs.MustNode(50)
+	for i := 0; i < b.N; i++ {
+		hot := g.StaticOverDynamic(0.1, node.ClockHz, 0.6, units.CelsiusToKelvin(85))
+		cold := g.StaticOverDynamic(0.1, node.ClockHz, 0.6, units.RoomTemperature)
+		if hot <= cold {
+			b.Fatalf("85 °C must worsen the static share: %g vs %g", hot, cold)
+		}
+	}
+}
+
+func freshCircuit(b *testing.B, guard float64) *netlist.Circuit {
+	b.Helper()
+	tech, err := netlist.NewTech(100, 0.65)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := netlist.DefaultGenParams()
+	p.Gates = 2000
+	p.Levels = 30
+	p.ShortPathFraction = 0.5
+	p.Seed = 7
+	c, err := netlist.Generate(tech, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sta.SetPeriodFromCritical(c, guard); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// Ablation 4/5: level-converter cost and clustering in CVS.
+func BenchmarkAblationCVSClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clustered := freshCircuit(b, 1.15)
+		if _, err := cvs.Assign(clustered, cvs.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		unclustered := freshCircuit(b, 1.15)
+		opts := cvs.DefaultOptions()
+		opts.Clustering = false
+		if _, err := cvs.Assign(unclustered, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 6: hot-spot factor in Figure 5.
+func BenchmarkAblationHotspot(b *testing.B) {
+	node := itrs.MustNode(35)
+	for i := 0; i < b.N; i++ {
+		uniform := powergrid.DefaultSpec(node, node.BumpPitchMinM)
+		uniform.HotspotFactor = 1
+		hot := powergrid.DefaultSpec(node, node.BumpPitchMinM)
+		su, err := uniform.SizeRails()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh, err := hot.SizeRails()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sh.RailWidthM <= su.RailWidthM {
+			b.Fatalf("hot spots must widen the rails")
+		}
+	}
+}
+
+// Ablation 7: analytic rail model vs numerical solvers.
+func BenchmarkAblationGridSolvers(b *testing.B) {
+	node := itrs.MustNode(35)
+	spec := powergrid.DefaultSpec(node, node.BumpPitchMinM)
+	for i := 0; i < b.N; i++ {
+		if _, err := powergrid.ValidateAnalytic(spec, 128); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := powergrid.PessimisticRatio(spec, 31); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 8: optimal vs ad-hoc repeater sizing.
+func BenchmarkAblationRepeaterSizing(b *testing.B) {
+	drv, err := repeater.UnitDriver(50, units.CelsiusToKelvin(85))
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := wire.MustForNode(50, wire.Global)
+	length, err := wire.CrossChipLength(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		best := repeater.Optimize(drv, line, length)
+		adhoc := repeater.WithRepeaters(drv, line, length, best.Count/2, best.Size/2)
+		if adhoc.Delay <= best.Delay {
+			b.Fatalf("ad-hoc sizing should lose")
+		}
+	}
+}
+
+// --- Core engines under load (library performance benchmarks) -------------------
+
+func BenchmarkSTAFull(b *testing.B) {
+	c := freshCircuit(b, 1.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sta.Analyze(c)
+	}
+}
+
+func BenchmarkSTAIncrementalEdit(b *testing.B) {
+	c := freshCircuit(b, 1.15)
+	inc := sta.NewIncremental(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := &c.Gates[i%len(c.Gates)]
+		old := g.Size
+		g.Size = old * 0.99
+		if !inc.TryUpdate(g.ID) {
+			g.Size = old
+		}
+	}
+}
+
+func BenchmarkCombinedFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := freshCircuit(b, 1.15)
+		if _, err := core.RunFlow(c, core.DefaultFlowOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDualVthAssign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := freshCircuit(b, 1.0)
+		if _, err := dualvth.Assign(c, dualvth.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResizeDownsize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := freshCircuit(b, 1.15)
+		if _, err := resize.Downsize(c, resize.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetlistGenerate(b *testing.B) {
+	tech, err := netlist.NewTech(100, 0.65)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := netlist.DefaultGenParams()
+	p.Gates = 4000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)
+		if _, err := netlist.Generate(tech, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceIonSolve(b *testing.B) {
+	d := device.MustForNode(35)
+	for i := 0; i < b.N; i++ {
+		if _, err := d.SolveVthForIon(750, 0.6, units.RoomTemperature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimStackVth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStackVth(70); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimStandby(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStandby(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimSwingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSwingStudy(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimBusPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBusPlan(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Validation benches: the numerical ground truths against the analytic layer.
+
+func BenchmarkValidationRCSim(b *testing.B) {
+	w := wire.MustForNode(50, wire.Global)
+	l := &rcsim.Line{
+		RPerM: w.RPerM(), CPerM: w.CPerM(),
+		LengthM: 5e-3, Segments: 64,
+		DriverOhms: 500, LoadF: 10e-15,
+	}
+	for i := 0; i < b.N; i++ {
+		sim, err := l.Delay50()
+		if err != nil {
+			b.Fatal(err)
+		}
+		analytic := w.DrivenDelay(5e-3, 500, 10e-15)
+		if r := analytic / sim; r < 0.8 || r > 1.3 {
+			b.Fatalf("analytic layer diverged from the simulator: ×%.2f", r)
+		}
+	}
+}
+
+func BenchmarkValidationLogicSim(b *testing.B) {
+	c := freshCircuit(b, 1.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probMAE, _, err := logicsim.CompareWithModel(c, logicsim.Options{Cycles: 2048, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if probMAE > 0.05 {
+			b.Fatalf("activity model diverged: MAE %.3f", probMAE)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command gridsim analyzes power-distribution IR drop for a roadmap node:
+// analytic BACPAC-style rail sizing against a hot-spot budget, numerical
+// validation (1-D ladder and 2-D mesh), bump-current checks, and wakeup
+// transient analysis.
+//
+// Usage:
+//
+//	gridsim -node 35                  # min-pitch and ITRS-plan sizing
+//	gridsim -node 35 -pitch 120e-6    # explicit bump pitch
+//	gridsim -node 35 -step 40         # 40 A wakeup step analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanometer/internal/itrs"
+	"nanometer/internal/powergrid"
+)
+
+var (
+	nodeNM  = flag.Int("node", 35, "technology node (180,130,100,70,50,35)")
+	pitch   = flag.Float64("pitch", 0, "explicit bump pitch in meters (0 = analyze both standard plans)")
+	hotspot = flag.Float64("hotspot", 4, "hot-spot power-density factor")
+	budget  = flag.Float64("budget", 0.10, "IR budget as a fraction of Vdd")
+	meshN   = flag.Int("mesh", 41, "mesh dimension for the 2-D validation")
+	step    = flag.Float64("step", 0, "analyze a wakeup current step of this many amps")
+)
+
+func main() {
+	flag.Parse()
+	node, err := itrs.ByNode(*nodeNM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("node %d nm: Vdd %.1f V, %.0f W / %.1f cm² (hot-spot ×%.0f), top metal %.2f Ω/sq, Wmin %.2f µm\n\n",
+		node.DrawnNM, node.Vdd, node.MaxPowerW, node.DieAreaM2*1e4, *hotspot,
+		node.TopMetalSheetOhms(), node.TopMetalMinWidthM*1e6)
+
+	plans := []struct {
+		name  string
+		pitch float64
+	}{}
+	if *pitch > 0 {
+		plans = append(plans, struct {
+			name  string
+			pitch float64
+		}{"explicit", *pitch})
+	} else {
+		plans = append(plans,
+			struct {
+				name  string
+				pitch float64
+			}{"minimum attainable pitch", node.BumpPitchMinM},
+			struct {
+				name  string
+				pitch float64
+			}{"ITRS pad-count plan", node.EffectiveBumpPitchM()})
+	}
+	for _, p := range plans {
+		spec := powergrid.DefaultSpec(node, p.pitch)
+		spec.HotspotFactor = *hotspot
+		spec.IRBudgetFraction = *budget
+		sz, feasible, err := spec.FeasibleRails()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (pitch %.0f µm):\n", p.name, p.pitch*1e6)
+		fmt.Printf("  rail width %.2f µm = %.1f × Wmin; cell current %.2f A\n",
+			sz.RailWidthM*1e6, sz.WidthOverMin, sz.CellCurrentA)
+		fmt.Printf("  routing: rails %.1f%% + landing pads %.0f%% = %.1f%%",
+			sz.RailRoutingFraction*100, spec.LandingPadFraction*100, sz.TotalRoutingFraction*100)
+		if !feasible {
+			fmt.Printf("  — INFEASIBLE (rails exceed the pitch)")
+		}
+		fmt.Println()
+		ladder, err := powergrid.ValidateAnalytic(spec, 256)
+		if err == nil {
+			fmt.Printf("  1-D ladder check: drop/budget = %.3f\n", ladder)
+		}
+		mesh, err := powergrid.PessimisticRatio(spec, *meshN)
+		if err == nil {
+			fmt.Printf("  2-D all-top-metal bound: %.1f× budget (lower grid must carry the spread)\n", mesh)
+		}
+		fmt.Println()
+	}
+
+	chk := powergrid.CheckBumpCurrent(node)
+	fmt.Printf("bump-current check: %.0f A over %d Vdd bumps = %.3f A/bump vs %.3f A capability → ",
+		chk.SupplyCurrentA, chk.VddBumps, chk.PerBumpA, chk.CapabilityA)
+	if chk.Compatible {
+		fmt.Println("OK")
+	} else {
+		fmt.Printf("INSUFFICIENT (need %d Vdd bumps)\n", chk.RequiredBumps)
+	}
+
+	if *step > 0 {
+		fmt.Println()
+		for _, p := range plans {
+			spec := powergrid.DefaultTransientSpec(node)
+			if p.pitch == node.BumpPitchMinM {
+				spec.PowerBumps = int(node.DieAreaM2 / (p.pitch * p.pitch))
+			}
+			res, err := spec.Step(*step, 1e-9)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridsim:", err)
+				os.Exit(1)
+			}
+			safe, _ := spec.MinSafeRampS(*step, 0.10)
+			fmt.Printf("%s: %.0f A step in 1 ns → droop %.1f%% Vdd (L=%.2f pH, Z0=%.2f mΩ); safe ramp ≥ %.2f ns; max instant step %.0f A\n",
+				p.name, *step, res.NoiseFraction*100,
+				spec.EffectiveInductance()*1e12, spec.CharacteristicImpedance()*1e3,
+				safe*1e9, spec.MaxStepA(0.10))
+		}
+	}
+}

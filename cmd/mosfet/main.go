@@ -1,0 +1,151 @@
+// Command mosfet characterizes the calibrated compact devices: per-node
+// parameters, operating points, and I-V sweeps (CSV) for plotting — the
+// working surface of the paper's Eqs. 2–4.
+//
+// Usage:
+//
+//	mosfet                          # parameter table for every node
+//	mosfet -node 35                 # one node's details + operating points
+//	mosfet -node 35 -sweep vdd      # Ion/Ioff vs supply (CSV to stdout)
+//	mosfet -node 35 -sweep vth      # Ion/Ioff vs threshold
+//	mosfet -node 35 -sweep temp     # leakage vs temperature
+//	mosfet -node 35 -metal-gate     # apply the metal-gate variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanometer/internal/device"
+	"nanometer/internal/itrs"
+	"nanometer/internal/mathx"
+	"nanometer/internal/report"
+	"nanometer/internal/units"
+)
+
+var (
+	nodeNM    = flag.Int("node", 0, "technology node (0 = summary of all)")
+	sweep     = flag.String("sweep", "", "CSV sweep: vdd | vth | temp")
+	metalGate = flag.Bool("metal-gate", false, "remove gate depletion (metal-gate variant)")
+	pmos      = flag.Bool("pmos", false, "use the PMOS companion device")
+	tempC     = flag.Float64("temp", 27, "analysis temperature (°C)")
+	points    = flag.Int("points", 33, "sweep points")
+)
+
+func main() {
+	flag.Parse()
+	if *nodeNM == 0 {
+		summary()
+		return
+	}
+	d, err := pick(*nodeNM)
+	if err != nil {
+		fatal(err)
+	}
+	if *metalGate {
+		d = d.MetalGate()
+	}
+	node := itrs.MustNode(*nodeNM)
+	T := units.CelsiusToKelvin(*tempC)
+
+	if *sweep != "" {
+		runSweep(d, node, T)
+		return
+	}
+
+	fmt.Printf("%s (%d nm node, %d)\n", d.Name, node.DrawnNM, node.Year)
+	fmt.Printf("  Leff          %s\n", units.Engineering(d.LeffM, "m", 3))
+	fmt.Printf("  Tox physical  %s   electrical %s\n",
+		units.Engineering(d.ToxPhysicalM, "m", 3), units.Engineering(d.ToxElectricalM(), "m", 3))
+	fmt.Printf("  Coxe          %.3g F/m²\n", d.CoxElectrical())
+	fmt.Printf("  µeff          %.0f cm²/Vs (calibrated; DESIGN.md §2)\n", d.MobilityM2PerVs*1e4)
+	fmt.Printf("  Esat·Leff     %.3f V\n", d.EsatLeffV())
+	fmt.Printf("  Rs            %.0f Ω·µm\n", d.RsOhmM*1e6)
+	fmt.Printf("  Vth0          %.3f V at Vds = %.2f V; DIBL %.0f mV/V\n", d.Vth0, d.VddRef, d.DIBL*1e3)
+	fmt.Printf("  swing         %.1f mV/dec at 300 K (%.1f at %.0f °C)\n",
+		d.SubthresholdSwing300K*1e3, d.SubthresholdSwing(T)*1e3, *tempC)
+	fmt.Println()
+	fmt.Printf("operating point at Vdd = %.2f V, %.0f °C:\n", node.Vdd, *tempC)
+	fmt.Printf("  Ion  = %.1f µA/µm (ITRS target %.0f)\n",
+		d.IonPerWidth(node.Vdd, T), node.IonTargetAPerM)
+	fmt.Printf("  Ioff = %.3g nA/µm (ITRS projection %.0f)\n",
+		units.NAPerUMFromAmpsPerMeter(d.IoffPerWidth(node.Vdd, T)),
+		units.NAPerUMFromAmpsPerMeter(node.IoffITRSAPerM))
+	fmt.Printf("  Ion/Ioff = %.3g\n", d.IonOverIoff(node.Vdd, T))
+	fmt.Printf("  CV/I (FO4 metric) = %s\n", units.Engineering(d.DelayMetric(node.Vdd, T, 4), "s", 3))
+}
+
+func pick(nm int) (*device.Device, error) {
+	if *pmos {
+		return device.ForNodePMOS(nm)
+	}
+	return device.ForNode(nm)
+}
+
+func summary() {
+	t := &report.Table{
+		Title: "Calibrated compact devices (NMOS, nominal supply, 300 K)",
+		Headers: []string{"node", "Vdd", "Leff (nm)", "Tox (nm)", "µeff (cm²/Vs)",
+			"Esat·L (V)", "Vth (V)", "Ion (µA/µm)", "Ioff (nA/µm)", "Ion/Ioff"},
+	}
+	for _, nm := range itrs.Nodes() {
+		d, err := device.ForNode(nm)
+		if err != nil {
+			fatal(err)
+		}
+		node := itrs.MustNode(nm)
+		T := units.RoomTemperature
+		t.AddRow(
+			fmt.Sprintf("%d", nm),
+			fmt.Sprintf("%.1f", node.Vdd),
+			fmt.Sprintf("%.0f", d.LeffM*1e9),
+			fmt.Sprintf("%.2f", d.ToxPhysicalM*1e9),
+			fmt.Sprintf("%.0f", d.MobilityM2PerVs*1e4),
+			fmt.Sprintf("%.3f", d.EsatLeffV()),
+			fmt.Sprintf("%.3f", d.Vth0),
+			fmt.Sprintf("%.0f", d.IonPerWidth(node.Vdd, T)),
+			fmt.Sprintf("%.3g", units.NAPerUMFromAmpsPerMeter(d.IoffPerWidth(node.Vdd, T))),
+			fmt.Sprintf("%.2e", d.IonOverIoff(node.Vdd, T)),
+		)
+	}
+	t.Notes = append(t.Notes, "µeff is the calibrated stand-in for the paper's SPICE decks (DESIGN.md §2)")
+	t.WriteTo(os.Stdout)
+}
+
+func runSweep(d *device.Device, node itrs.Node, T float64) {
+	w := os.Stdout
+	switch *sweep {
+	case "vdd":
+		fmt.Fprintln(w, "vdd_V,ion_uA_per_um,ioff_nA_per_um,cvi_ps")
+		for _, v := range mathx.Linspace(0.2*node.Vdd, 1.2*node.Vdd, *points) {
+			fmt.Fprintf(w, "%.4f,%.4g,%.4g,%.4g\n", v,
+				d.IonPerWidth(v, T),
+				units.NAPerUMFromAmpsPerMeter(d.IoffPerWidth(v, T)),
+				d.DelayMetric(v, T, 4)*1e12)
+		}
+	case "vth":
+		fmt.Fprintln(w, "vth_V,ion_uA_per_um,ioff_nA_per_um")
+		for _, vth := range mathx.Linspace(0.02, 0.45, *points) {
+			dd := d.WithVth(vth)
+			fmt.Fprintf(w, "%.4f,%.4g,%.4g\n", vth,
+				dd.IonPerWidth(node.Vdd, T),
+				units.NAPerUMFromAmpsPerMeter(dd.IoffPerWidth(node.Vdd, T)))
+		}
+	case "temp":
+		fmt.Fprintln(w, "temp_C,ioff_nA_per_um,swing_mV_per_dec")
+		for _, tc := range mathx.Linspace(0, 125, *points) {
+			tk := units.CelsiusToKelvin(tc)
+			fmt.Fprintf(w, "%.1f,%.4g,%.2f\n", tc,
+				units.NAPerUMFromAmpsPerMeter(d.IoffPerWidth(node.Vdd, tk)),
+				d.SubthresholdSwing(tk)*1e3)
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep %q (vdd | vth | temp)", *sweep))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mosfet:", err)
+	os.Exit(1)
+}

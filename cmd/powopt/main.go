@@ -1,0 +1,157 @@
+// Command powopt runs the paper's circuit-level power-optimization flow on a
+// generated netlist: clustered voltage scaling, dual-Vth assignment, and
+// post-synthesis re-sizing, individually or combined.
+//
+// Usage:
+//
+//	powopt -node 100 -gates 4000 -flow combined
+//	powopt -node 70 -flow cvs -lowvdd 0.7 -guard 1.2
+//	powopt -flow resize
+//	powopt -flow combined -save out.nl     # save the optimized netlist
+//	powopt -load in.nl -flow dualvth       # operate on a saved netlist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanometer/internal/core"
+	"nanometer/internal/cvs"
+	"nanometer/internal/dualvth"
+	"nanometer/internal/netlist"
+	"nanometer/internal/power"
+	"nanometer/internal/resize"
+	"nanometer/internal/sta"
+)
+
+var (
+	nodeNM = flag.Int("node", 100, "technology node")
+	gates  = flag.Int("gates", 4000, "netlist size")
+	levels = flag.Int("levels", 30, "logic depth")
+	lowVdd = flag.Float64("lowvdd", 0.65, "Vdd,l / Vdd,h ratio")
+	guard  = flag.Float64("guard", 1.15, "clock period guard over critical delay")
+	seed   = flag.Int64("seed", 7, "netlist seed")
+	flow   = flag.String("flow", "combined", "flow: cvs | dualvth | resize | combined")
+	save   = flag.String("save", "", "write the optimized netlist to this file")
+	load   = flag.String("load", "", "read the netlist from this file instead of generating")
+)
+
+func main() {
+	flag.Parse()
+	var c *netlist.Circuit
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = netlist.Read(f)
+		closeErr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if closeErr != nil {
+			fatal(closeErr)
+		}
+	} else {
+		tech, err := netlist.NewTech(*nodeNM, *lowVdd)
+		if err != nil {
+			fatal(err)
+		}
+		p := netlist.DefaultGenParams()
+		p.Gates = *gates
+		p.Levels = *levels
+		p.ShortPathFraction = 0.5
+		p.Seed = *seed
+		c, err = netlist.Generate(tech, p)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	period := c.ClockPeriodS
+	if period == 0 {
+		var err error
+		period, err = sta.SetPeriodFromCritical(c, *guard)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	tech := c.Tech
+	st := c.Stats()
+	r := sta.Analyze(c)
+	power.PropagateActivity(c)
+	before := power.Analyze(c, 1/period)
+	vddL := tech.VddH()
+	if tech.HasLowVdd() {
+		vddL = tech.Vdd(1)
+	}
+	fmt.Printf("netlist: %d gates (%d PO, %d PI), period %.0f ps, %d nm, Vdd %.2f/%.2f V\n",
+		st.Gates, st.POs, st.PIs, period*1e12, tech.NodeNM, tech.VddH(), vddL)
+	fmt.Printf("baseline: dynamic %.3f mW + leakage %.3f mW = %.3f mW; %.0f%% of paths below half cycle\n\n",
+		before.DynamicW*1e3, before.LeakageW*1e3, before.TotalW()*1e3, r.PathUtilization(c, 0.5)*100)
+
+	switch *flow {
+	case "cvs":
+		res, err := cvs.Assign(c, cvs.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("CVS: %.1f%% of gates at Vdd,l, %d level converters\n", res.AssignedFraction*100, res.LevelConverters)
+		fmt.Printf("dynamic power: %.3f → %.3f mW (-%.1f%%), LC overhead %.1f%%, area +%.1f%%, met=%v\n",
+			res.Before.DynamicW*1e3, res.After.DynamicW*1e3, res.DynamicSaving*100,
+			res.LCOverheadFraction*100, res.AreaOverhead*100, res.TimingMet)
+	case "dualvth":
+		res, err := dualvth.Assign(c, dualvth.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dual-Vth: %.1f%% of gates at high Vth\n", res.HighVthFraction*100)
+		fmt.Printf("leakage: %.3f → %.3f mW (-%.1f%%), delay +%.2f%%, met=%v\n",
+			res.Before.LeakageW*1e3, res.After.LeakageW*1e3, res.LeakageSaving*100,
+			res.DelayPenalty*100, res.TimingMet)
+	case "resize":
+		res, err := resize.Downsize(c, resize.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resize: total size -%.1f%%\n", res.SizeReduction*100)
+		fmt.Printf("dynamic power -%.1f%% (sublinearity %.2f), total -%.1f%%, met=%v\n",
+			res.DynamicSaving*100, res.Sublinearity, res.PowerSaving*100, res.TimingMet)
+	case "combined":
+		res, err := core.RunFlow(c, core.DefaultFlowOptions())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stage 1 (CVS):      %.0f%% at Vdd,l, dynamic -%.1f%%\n",
+			res.CVS.AssignedFraction*100, res.CVS.DynamicSaving*100)
+		fmt.Printf("stage 2 (dual-Vth): %.0f%% high-Vth, leakage -%.1f%%\n",
+			res.DualVth.HighVthFraction*100, res.DualVth.LeakageSaving*100)
+		fmt.Printf("stage 3 (resize):   size -%.1f%%, dynamic -%.1f%% more\n",
+			res.Resize.SizeReduction*100, res.Resize.DynamicSaving*100)
+		fmt.Printf("combined: %.3f → %.3f mW (total -%.1f%%; dynamic -%.1f%%, leakage -%.1f%%), met=%v\n",
+			res.Before.TotalW()*1e3, res.After.TotalW()*1e3,
+			res.TotalSaving*100, res.DynamicSaving*100, res.LeakageSaving*100, res.TimingMet)
+	default:
+		fmt.Fprintf(os.Stderr, "powopt: unknown flow %q\n", *flow)
+		os.Exit(2)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netlist.Write(f, c); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved optimized netlist to %s\n", *save)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powopt:", err)
+	os.Exit(1)
+}

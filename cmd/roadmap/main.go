@@ -1,0 +1,132 @@
+// Command roadmap prints the ITRS-2000 trends the paper is built on, with
+// the model-derived consequences per node: FO4 speed, packaging/cooling
+// requirements, supply currents, standby allowances, repeater census, and
+// DVFS operating tables.
+//
+// Usage:
+//
+//	roadmap              # the trends table
+//	roadmap -derived     # model-derived consequences per node
+//	roadmap -dvfs 100    # the DVFS operating table for a node
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanometer/internal/dvfs"
+	"nanometer/internal/gate"
+	"nanometer/internal/itrs"
+	"nanometer/internal/repeater"
+	"nanometer/internal/report"
+	"nanometer/internal/thermal"
+	"nanometer/internal/units"
+)
+
+var (
+	derived  = flag.Bool("derived", false, "print model-derived consequences")
+	dvfsNode = flag.Int("dvfs", 0, "print the DVFS operating table for a node")
+)
+
+func main() {
+	flag.Parse()
+	if *dvfsNode != 0 {
+		printDVFS(*dvfsNode)
+		return
+	}
+	if *derived {
+		printDerived()
+		return
+	}
+	printTrends()
+}
+
+func printTrends() {
+	t := &report.Table{
+		Title: "ITRS 2000-update roadmap (as transcribed for the reproduction; DESIGN.md §2)",
+		Headers: []string{"node (nm)", "year", "Vdd (V)", "Tox (nm)", "Leff (nm)",
+			"clock (GHz)", "power (W)", "die (cm²)", "Tj (°C)", "θja (°C/W)", "pads", "bump pitch (µm)"},
+	}
+	for _, nm := range itrs.Nodes() {
+		n := itrs.MustNode(nm)
+		t.AddRow(
+			fmt.Sprintf("%d", n.DrawnNM),
+			fmt.Sprintf("%d", n.Year),
+			fmt.Sprintf("%.1f", n.Vdd),
+			fmt.Sprintf("%.2f", n.ToxPhysicalM*1e9),
+			fmt.Sprintf("%.0f", n.LeffM*1e9),
+			fmt.Sprintf("%.1f", n.ClockHz/1e9),
+			fmt.Sprintf("%.0f", n.MaxPowerW),
+			fmt.Sprintf("%.1f", n.DieAreaM2*1e4),
+			fmt.Sprintf("%.0f", n.JunctionTempC),
+			fmt.Sprintf("%.2f", n.ThetaJA),
+			fmt.Sprintf("%d", n.TotalPads),
+			fmt.Sprintf("%.0f", n.BumpPitchMinM*1e6),
+		)
+	}
+	t.WriteTo(os.Stdout)
+}
+
+func printDerived() {
+	t := &report.Table{
+		Title: "Model-derived consequences per node",
+		Headers: []string{"node", "FO4 (ps)", "density (W/cm²)", "cooling class",
+			"supply (A)", "standby cap (A)", "repeaters", "signal P (W)"},
+	}
+	for _, nm := range itrs.Nodes() {
+		n := itrs.MustNode(nm)
+		inv, err := gate.ReferenceInverter(nm)
+		if err != nil {
+			fatal(err)
+		}
+		fo4 := inv.FO4Delay(n.Vdd, units.CelsiusToKelvin(85))
+		sol, err := thermal.SelectCooling(n.MaxPowerW, n.JunctionTempC, n.AmbientTempC)
+		if err != nil {
+			fatal(err)
+		}
+		census, err := repeater.TakeCensus(nm, repeater.CensusParams{})
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", nm),
+			fmt.Sprintf("%.1f", fo4*1e12),
+			fmt.Sprintf("%.0f", n.PowerDensityWPerM2()/1e4),
+			sol.Class.String(),
+			fmt.Sprintf("%.0f", n.SupplyCurrentA()),
+			fmt.Sprintf("%.1f", n.StandbyCurrentAllowanceA()),
+			fmt.Sprintf("%d", census.Repeaters),
+			fmt.Sprintf("%.0f", census.SignalingPowerW),
+		)
+	}
+	t.Notes = append(t.Notes, "standby cap = the ITRS 10%-of-max-power static allowance (30 A at 35 nm per the paper)")
+	t.WriteTo(os.Stdout)
+}
+
+func printDVFS(nodeNM int) {
+	tb, err := dvfs.NewTable(nodeNM, 6, 0.5, 0)
+	if err != nil {
+		fatal(err)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("DVFS operating table, %d nm (logic depth %.0f FO4/cycle)", nodeNM, tb.LogicDepth),
+		Headers: []string{"Vdd (V)", "f (GHz)", "speed", "power", "energy/op"},
+	}
+	for _, p := range tb.Points {
+		t.AddRow(
+			fmt.Sprintf("%.2f", p.Vdd),
+			fmt.Sprintf("%.2f", p.FreqHz/1e9),
+			fmt.Sprintf("%.2f", p.RelSpeed),
+			fmt.Sprintf("%.2f", p.RelPower),
+			fmt.Sprintf("%.2f", p.EnergyPerWork),
+		)
+	}
+	t.Notes = append(t.Notes, "Transmeta-style voltage scaling: energy per operation falls as Vdd² (§2.1)")
+	t.WriteTo(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roadmap:", err)
+	os.Exit(1)
+}

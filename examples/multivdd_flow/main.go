@@ -1,0 +1,74 @@
+// multivdd_flow demonstrates the paper's §3.3 combined power-reduction
+// approach on a generated media-processor-like block, stage by stage, and
+// contrasts it with the wrong ordering (re-sizing first), which the paper
+// warns starves the multi-Vdd assignment of slack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nanometer/internal/core"
+	"nanometer/internal/cvs"
+	"nanometer/internal/netlist"
+	"nanometer/internal/power"
+	"nanometer/internal/resize"
+	"nanometer/internal/sta"
+)
+
+func build() *netlist.Circuit {
+	tech := netlist.MustNewTech(100, 0.65)
+	p := netlist.DefaultGenParams()
+	p.Gates = 3000
+	p.Levels = 30
+	p.ShortPathFraction = 0.5
+	p.Seed = 11
+	c, err := netlist.Generate(tech, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sta.SetPeriodFromCritical(c, 1.15); err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func main() {
+	base := build()
+	period := base.ClockPeriodS
+	power.PropagateActivity(base)
+	before := power.Analyze(base, 1/period)
+	r := sta.Analyze(base)
+	fmt.Printf("block: %d gates at 100 nm, clock %.0f ps, %.0f%% of paths below half cycle\n",
+		len(base.Gates), period*1e12, r.PathUtilization(base, 0.5)*100)
+	fmt.Printf("baseline power: %.3f mW dynamic + %.3f mW leakage\n\n", before.DynamicW*1e3, before.LeakageW*1e3)
+
+	// The recommended ordering: supplies → thresholds → sizes.
+	c := build()
+	res, err := core.RunFlow(c, core.DefaultFlowOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended ordering (CVS → dual-Vth → resize):")
+	fmt.Printf("  CVS:      %.0f%% of gates moved to Vdd,l (%d level converters), dynamic -%.0f%%\n",
+		res.CVS.AssignedFraction*100, res.CVS.LevelConverters, res.CVS.DynamicSaving*100)
+	fmt.Printf("  dual-Vth: %.0f%% of gates to high Vth, leakage -%.0f%%\n",
+		res.DualVth.HighVthFraction*100, res.DualVth.LeakageSaving*100)
+	fmt.Printf("  resize:   sizes -%.0f%%, dynamic another -%.0f%% (sublinearity %.2f)\n",
+		res.Resize.SizeReduction*100, res.Resize.DynamicSaving*100, res.Resize.Sublinearity)
+	fmt.Printf("  combined: total -%.0f%%, timing met: %v\n\n", res.TotalSaving*100, res.TimingMet)
+
+	// The paper's warning: re-size first and the slack is gone.
+	c2 := build()
+	if _, err := resize.Downsize(c2, resize.DefaultOptions()); err != nil {
+		log.Fatal(err)
+	}
+	after, err := cvs.Assign(c2, cvs.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrong ordering (resize first):")
+	fmt.Printf("  CVS after re-sizing reaches only %.0f%% of gates (vs %.0f%%) — \"more paths approach\n"+
+		"  criticality; this makes the application of multi-Vdd approaches less advantageous\"\n",
+		after.AssignedFraction*100, res.CVS.AssignedFraction*100)
+}

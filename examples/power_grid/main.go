@@ -1,0 +1,85 @@
+// power_grid walks the §4 power-distribution analysis at 35 nm: hot-spot
+// rail sizing under the two bump plans, numerical cross-checks, the bump
+// current budget, and the sleep-mode wakeup transient with and without
+// staging.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nanometer/internal/itrs"
+	"nanometer/internal/mtcmos"
+	"nanometer/internal/powergrid"
+)
+
+func main() {
+	node := itrs.MustNode(35)
+	fmt.Printf("35 nm MPU: %.0f W over %.1f cm² at %.1f V → %.0f A supply current\n",
+		node.MaxPowerW, node.DieAreaM2*1e4, node.Vdd, node.SupplyCurrentA())
+	fmt.Printf("hot spots at 4× uniform density (half the die is low-density memory)\n\n")
+
+	for _, plan := range []struct {
+		name  string
+		pitch float64
+	}{
+		{"minimum attainable bump pitch", node.BumpPitchMinM},
+		{"ITRS pad-count plan", node.EffectiveBumpPitchM()},
+	} {
+		spec := powergrid.DefaultSpec(node, plan.pitch)
+		sz, feasible, err := spec.FeasibleRails()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%.0f µm):\n", plan.name, plan.pitch*1e6)
+		fmt.Printf("  Vdd/GND rails %.2f µm wide = %.0f × minimum top-metal width\n",
+			sz.RailWidthM*1e6, sz.WidthOverMin)
+		fmt.Printf("  top-level routing consumed: %.1f%% rails + %.0f%% landing pads = %.1f%%",
+			sz.RailRoutingFraction*100, spec.LandingPadFraction*100, sz.TotalRoutingFraction*100)
+		if !feasible {
+			fmt.Print("  ← INFEASIBLE")
+		}
+		fmt.Println()
+		ladder, err := powergrid.ValidateAnalytic(spec, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  numerical rail solve agrees with the closed form to %.1f%%\n\n", (ladder-1)*100)
+	}
+
+	chk := powergrid.CheckBumpCurrent(node)
+	fmt.Printf("bump current: %d Vdd bumps × %.2f A capability < %.0f A worst-case draw → need %d bumps\n\n",
+		chk.VddBumps, chk.CapabilityA, chk.SupplyCurrentA, chk.RequiredBumps)
+
+	// Sleep-mode wakeup: an MTCMOS-gated block re-awakens.
+	blockCurrent := node.SupplyCurrentA() / 8
+	logicWidth := node.LogicTransistorsM * 1e6 / 8 * 4 * node.LeffM
+	blk, err := mtcmos.NewBlock(35, logicWidth, 0.08, blockCurrent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MTCMOS block (1/8 of the die): standby leakage -%.1f%%, active delay +%.1f%%, footer area +%.0f%%\n",
+		blk.StandbySavings()*100, blk.DelayPenalty()*100, blk.AreaOverhead()*100)
+
+	for _, plan := range []struct {
+		name  string
+		bumps int
+	}{
+		{"min-pitch plan", int(node.DieAreaM2 / (node.BumpPitchMinM * node.BumpPitchMinM))},
+		{"ITRS plan", 0}, // 0 = node default counts
+	} {
+		spec := powergrid.DefaultTransientSpec(node)
+		spec.PowerBumps = plan.bumps
+		instant, err := spec.Step(blockCurrent, 1e-12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		safe, err := spec.MinSafeRampS(blockCurrent, 0.10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s unstaged %.0f A wakeup droops %.1f%% of Vdd; staging over ≥ %.2f ns keeps it under 10%%\n",
+			plan.name, blockCurrent, instant.NoiseFraction*100, safe*1e9)
+	}
+	fmt.Println("\nthe minimum bump pitch \"provides a low inductance path to each gate\" — the paper's §4 close")
+}

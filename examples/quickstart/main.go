@@ -1,0 +1,79 @@
+// Quickstart: a ten-minute tour of the nanometer library — the compact
+// device model, gate-level power, the thermal loop, and the combined
+// circuit optimization flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nanometer/internal/core"
+	"nanometer/internal/device"
+	"nanometer/internal/gate"
+	"nanometer/internal/itrs"
+	"nanometer/internal/netlist"
+	"nanometer/internal/sta"
+	"nanometer/internal/thermal"
+	"nanometer/internal/units"
+)
+
+func main() {
+	// 1. Roadmap data: the ITRS-2000 nodes the paper spans.
+	node := itrs.MustNode(50)
+	fmt.Printf("50 nm node (%d): Vdd %.1f V, %.0f W budget, %.1f GHz global clock\n",
+		node.Year, node.Vdd, node.MaxPowerW, node.ClockHz/1e9)
+
+	// 2. Device model: the paper's Eqs. 2-4. Solve the threshold that
+	// delivers the 750 µA/µm drive target and look at the leakage cost.
+	d := device.MustForNode(50)
+	vth, err := d.SolveVthForIon(node.IonTargetAPerM, node.Vdd, units.RoomTemperature)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ioff := d.WithVth(vth).IoffPerWidth(node.Vdd, units.RoomTemperature)
+	fmt.Printf("meeting Ion at %.1f V needs Vth = %.0f mV → Ioff = %.2f µA/µm\n",
+		node.Vdd, vth*1e3, ioff)
+
+	// 3. Gate level: the reference inverter's FO4 delay and the
+	// static/dynamic power balance at a typical activity.
+	inv, err := gate.ReferenceInverter(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t85 := units.CelsiusToKelvin(85)
+	fmt.Printf("FO4 delay: %s; Pstatic/Pdynamic at α=0.1: %.2f\n",
+		units.Engineering(inv.FO4Delay(node.Vdd, t85), "s", 3),
+		inv.StaticOverDynamic(0.1, node.ClockHz, node.Vdd, t85))
+
+	// 4. Thermal: what package does the power budget need, and what does
+	// dynamic thermal management save?
+	sol, err := thermal.SelectCooling(node.MaxPowerW, node.JunctionTempC, node.AmbientTempC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solDTM, err := thermal.SelectCooling(0.75*node.MaxPowerW, node.JunctionTempC, node.AmbientTempC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cooling: %s ($%.0f) without DTM, %s ($%.0f) with DTM at 75%% effective worst case\n",
+		sol.Class, sol.CostUSD, solDTM.Class, solDTM.CostUSD)
+
+	// 5. Circuit level: generate a block and run the paper's combined
+	// multi-Vdd + multi-Vth + re-sizing flow.
+	tech := netlist.MustNewTech(50, 0.65)
+	params := netlist.DefaultGenParams()
+	params.Gates = 1500
+	c, err := netlist.Generate(tech, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sta.SetPeriodFromCritical(c, 1.15); err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.RunFlow(c, core.DefaultFlowOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combined flow on %d gates: power -%.0f%% (dynamic -%.0f%%, leakage -%.0f%%), timing met: %v\n",
+		len(c.Gates), res.TotalSaving*100, res.DynamicSaving*100, res.LeakageSaving*100, res.TimingMet)
+}

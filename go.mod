@@ -1,0 +1,3 @@
+module nanometer
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package cvs implements clustered voltage scaling (Usami-Horowitz CVS),
+// the multi-Vdd technique of the paper's §2.4: non-critical gates move to a
+// reduced supply Vdd,l ≈ 0.6–0.7·Vdd,h, with level conversion confined to
+// register boundaries by the structure rule that a low-supply gate may only
+// drive other low-supply gates (or a converter at a primary output). The
+// package reports the assigned fraction, the dynamic-power saving net of
+// converter overhead, and the area overhead — the quantities the paper
+// cites (≈75 % of gates at Vdd,l, 45–50 % power saving including 8–10 %
+// conversion overhead, ≈15 % area).
+package cvs
+
+import (
+	"fmt"
+
+	"nanometer/internal/netlist"
+	"nanometer/internal/power"
+	"nanometer/internal/sta"
+)
+
+// Options tunes the assignment.
+type Options struct {
+	// Clustering enables the CVS structure rule (LCs only at POs). When
+	// false, any gate may move to Vdd,l with a converter wherever its
+	// output feeds a high-supply gate — the unclustered ablation with many
+	// more converters.
+	Clustering bool
+	// ClockHz evaluates power; zero uses 1/period.
+	ClockHz float64
+	// LCAreaUnits and RailAreaFraction parameterize the area model.
+	LCAreaUnits      float64
+	RailAreaFraction float64
+}
+
+// DefaultOptions returns the paper-typical configuration.
+func DefaultOptions() Options {
+	return Options{Clustering: true, LCAreaUnits: 2, RailAreaFraction: 0.06}
+}
+
+// Result summarizes an assignment run.
+type Result struct {
+	// AssignedFraction is the share of gates moved to Vdd,l.
+	AssignedFraction float64
+	// LevelConverters is the number of converters inserted.
+	LevelConverters int
+	// Before and After are the power reports at the evaluation clock.
+	Before, After *power.Report
+	// DynamicSaving is 1 − after/before dynamic power.
+	DynamicSaving float64
+	// LCOverheadFraction is converter power over the dynamic power saved
+	// gross (the paper's 8–10 %).
+	LCOverheadFraction float64
+	// AreaOverhead is the relative area increase of the multi-Vdd design.
+	AreaOverhead float64
+	// TimingMet confirms the final design meets the period.
+	TimingMet bool
+}
+
+// Assign moves every gate that can tolerate Vdd,l under the structure and
+// timing rules. The circuit must have a two-supply tech and meet its period
+// at all-high; it is modified in place.
+func Assign(c *netlist.Circuit, opts Options) (*Result, error) {
+	if !c.Tech.HasLowVdd() {
+		return nil, fmt.Errorf("cvs: tech has a single supply")
+	}
+	if c.ClockPeriodS <= 0 {
+		return nil, fmt.Errorf("cvs: circuit has no clock period")
+	}
+	base := sta.Analyze(c)
+	if !base.Met() {
+		return nil, fmt.Errorf("cvs: circuit misses period %v by %v before assignment",
+			c.ClockPeriodS, -base.WorstSlackS)
+	}
+	fHz := opts.ClockHz
+	if fHz == 0 {
+		fHz = 1 / c.ClockPeriodS
+	}
+	power.PropagateActivity(c)
+	before := power.Analyze(c, fHz)
+
+	inc := sta.NewIncremental(c)
+	assigned := 0
+	// Reverse topological order: fanouts are decided before their drivers,
+	// as the clustering rule requires.
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := &c.Gates[i]
+		needsLC := false
+		if opts.Clustering {
+			okStructure := true
+			for _, fo := range g.Fanouts {
+				if c.Gates[fo].VddClass == 0 {
+					okStructure = false
+					break
+				}
+			}
+			if !okStructure {
+				continue
+			}
+			needsLC = g.IsPO
+		} else {
+			for _, fo := range g.Fanouts {
+				if c.Gates[fo].VddClass == 0 {
+					needsLC = true
+					break
+				}
+			}
+			needsLC = needsLC || g.IsPO
+		}
+		g.VddClass = 1
+		g.NeedsLC = needsLC
+		if inc.TryUpdate(i) {
+			assigned++
+			continue
+		}
+		g.VddClass = 0
+		g.NeedsLC = false
+	}
+
+	after := power.Analyze(c, fHz)
+	final := sta.Analyze(c)
+	res := &Result{
+		AssignedFraction: float64(assigned) / float64(len(c.Gates)),
+		Before:           before,
+		After:            after,
+		TimingMet:        final.Met(),
+	}
+	for i := range c.Gates {
+		if c.Gates[i].NeedsLC {
+			res.LevelConverters++
+		}
+	}
+	if before.DynamicW > 0 {
+		res.DynamicSaving = 1 - after.DynamicW/before.DynamicW
+	}
+	grossSaved := before.DynamicW - (after.DynamicW - after.LevelConverterW)
+	if grossSaved > 0 {
+		res.LCOverheadFraction = after.LevelConverterW / grossSaved
+	}
+	areaBefore := power.EstimateArea(cleanCopy(c), opts.LCAreaUnits, opts.RailAreaFraction).Total()
+	areaAfter := power.EstimateArea(c, opts.LCAreaUnits, opts.RailAreaFraction).Total()
+	if areaBefore > 0 {
+		res.AreaOverhead = areaAfter/areaBefore - 1
+	}
+	return res, nil
+}
+
+// cleanCopy returns a copy with all gates back at the high supply, for the
+// area baseline.
+func cleanCopy(c *netlist.Circuit) *netlist.Circuit {
+	cp := c.Clone()
+	for i := range cp.Gates {
+		cp.Gates[i].VddClass = 0
+		cp.Gates[i].NeedsLC = false
+	}
+	return cp
+}

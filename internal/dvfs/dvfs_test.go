@@ -1,0 +1,164 @@
+package dvfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanometer/internal/units"
+)
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	tb, err := NewTable(100, 6, 0.55, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable(100, 1, 0.5, 0); err == nil {
+		t.Fatalf("single point must error")
+	}
+	if _, err := NewTable(100, 4, 1.2, 0); err == nil {
+		t.Fatalf("bad fraction must error")
+	}
+	if _, err := NewTable(65, 4, 0.5, 0); err == nil {
+		t.Fatalf("unknown node must error")
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	tb := table(t)
+	if len(tb.Points) != 6 {
+		t.Fatalf("want 6 points")
+	}
+	top := tb.Points[0]
+	if top.RelSpeed != 1 || top.RelPower != 1 || top.EnergyPerWork != 1 {
+		t.Fatalf("top point must normalize to 1: %+v", top)
+	}
+	for i := 1; i < len(tb.Points); i++ {
+		a, b := tb.Points[i-1], tb.Points[i]
+		if b.Vdd >= a.Vdd || b.FreqHz >= a.FreqHz {
+			t.Fatalf("points must descend in Vdd and frequency")
+		}
+		if b.RelPower >= a.RelPower {
+			t.Fatalf("power must fall with the operating point")
+		}
+		if b.EnergyPerWork >= a.EnergyPerWork {
+			t.Fatalf("energy per work must fall with Vdd")
+		}
+	}
+	// Energy per work is exactly quadratic in Vdd.
+	last := tb.Points[len(tb.Points)-1]
+	want := (last.Vdd / top.Vdd) * (last.Vdd / top.Vdd)
+	if !units.ApproxEqual(last.EnergyPerWork, want, 1e-9, 0) {
+		t.Fatalf("energy/work = %g, want Vdd² ratio %g", last.EnergyPerWork, want)
+	}
+	// Frequency falls faster than linearly in Vdd near threshold — the
+	// speed at the bottom point is below the Vdd ratio.
+	if last.RelSpeed >= last.Vdd/top.Vdd {
+		t.Fatalf("frequency should degrade super-linearly toward low Vdd")
+	}
+}
+
+func TestTableMatchesNodeClock(t *testing.T) {
+	// With the derived logic depth, the top point reproduces the node's
+	// local clock target.
+	tb := table(t)
+	if tb.Points[0].FreqHz < 1e9 {
+		t.Fatalf("top frequency %g implausible", tb.Points[0].FreqHz)
+	}
+	if tb.LogicDepth < 2 {
+		t.Fatalf("logic depth %g too shallow", tb.LogicDepth)
+	}
+}
+
+func TestPointForUtilization(t *testing.T) {
+	tb := table(t)
+	if p := tb.PointForUtilization(1.0); p.Vdd != tb.Points[0].Vdd {
+		t.Fatalf("full demand needs the top point")
+	}
+	low := tb.PointForUtilization(0.05)
+	if low.Vdd != tb.Points[len(tb.Points)-1].Vdd {
+		t.Fatalf("tiny demand should pick the bottom point")
+	}
+	// The chosen point always covers the demand.
+	for _, u := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := tb.PointForUtilization(u)
+		if p.RelSpeed < u-1e-12 {
+			t.Fatalf("point at %g V cannot cover utilization %g", p.Vdd, u)
+		}
+	}
+}
+
+func TestEnergyVsThrottling(t *testing.T) {
+	tb := table(t)
+	rng := rand.New(rand.NewSource(3))
+	utils := make([]float64, 500)
+	for i := range utils {
+		utils[i] = 0.2 + 0.5*rng.Float64()
+	}
+	ratio := tb.EnergyVsThrottling(utils)
+	// The quadratic advantage: DVFS should use well under the gating
+	// energy at partial load.
+	if ratio >= 0.9 {
+		t.Fatalf("DVFS/gating energy = %g, expected a clear win", ratio)
+	}
+	if ratio <= 0.2 {
+		t.Fatalf("DVFS/gating energy = %g suspiciously low for this table", ratio)
+	}
+	// At saturation there is nothing to save.
+	full := tb.EnergyVsThrottling([]float64{1, 1, 1})
+	if !units.ApproxEqual(full, 1, 1e-9, 0) {
+		t.Fatalf("full load must cost the same: %g", full)
+	}
+}
+
+func TestGovernorTracksLoad(t *testing.T) {
+	tb := table(t)
+	g := NewGovernor(tb)
+	// Sustained low demand walks the governor down the table.
+	for i := 0; i < 20; i++ {
+		g.Step(0.1)
+	}
+	low := tb.Points[g.idx]
+	if low.Vdd >= tb.Points[1].Vdd {
+		t.Fatalf("governor failed to descend under low load (at %g V)", low.Vdd)
+	}
+	// A burst walks it back up.
+	for i := 0; i < 20; i++ {
+		g.Step(0.99)
+	}
+	if g.idx != 0 {
+		t.Fatalf("governor failed to return to the top point under load")
+	}
+}
+
+func TestGovernorRunDeliversWork(t *testing.T) {
+	tb := table(t)
+	rng := rand.New(rand.NewSource(7))
+	demand := make([]float64, 2000)
+	var total float64
+	for i := range demand {
+		demand[i] = 0.55 * rng.Float64()
+		total += demand[i]
+	}
+	g := NewGovernor(tb)
+	work, meanPower, backlog := g.Run(demand)
+	if backlog > 0.02*total {
+		t.Fatalf("governor left %.1f%% of the work undone", backlog/total*100)
+	}
+	if math.Abs(work+backlog-total) > 1e-9 {
+		t.Fatalf("work accounting broken: %g + %g vs %g", work, backlog, total)
+	}
+	// Mean power must undercut running the same trace pinned at the top
+	// point (active-fraction × full power).
+	gTop := NewGovernor(tb)
+	gTop.DownThreshold = -1 // never descend
+	_, topPower, _ := gTop.Run(demand)
+	if meanPower >= topPower {
+		t.Fatalf("governor power %g must beat top-pinned %g", meanPower, topPower)
+	}
+}

@@ -1,0 +1,81 @@
+package itrs
+
+import (
+	"fmt"
+	"math"
+
+	"nanometer/internal/mathx"
+)
+
+// InterpolatedNode synthesizes roadmap parameters for an arbitrary year
+// between the tabulated nodes, interpolating geometric quantities on a log
+// scale (feature sizes shrink exponentially with time) and electrical ones
+// linearly. The DrawnNM of the result is the rounded interpolated feature
+// size; it is not guaranteed to match a tabulated node.
+func InterpolatedNode(year float64) (Node, error) {
+	rm := Roadmap()
+	first, last := rm[0], rm[len(rm)-1]
+	if year < float64(first.Year) || year > float64(last.Year) {
+		return Node{}, fmt.Errorf("itrs: year %.0f outside the roadmap [%d, %d]", year, first.Year, last.Year)
+	}
+	years := make([]float64, len(rm))
+	for i, n := range rm {
+		years[i] = float64(n.Year)
+	}
+	logInterp := func(get func(Node) float64) float64 {
+		ys := make([]float64, len(rm))
+		for i, n := range rm {
+			ys[i] = math.Log(get(n))
+		}
+		in, err := mathx.NewInterpolator(years, ys)
+		if err != nil {
+			panic(err) // years are strictly increasing by construction
+		}
+		return math.Exp(in.At(year))
+	}
+	linInterp := func(get func(Node) float64) float64 {
+		ys := make([]float64, len(rm))
+		for i, n := range rm {
+			ys[i] = get(n)
+		}
+		in, err := mathx.NewInterpolator(years, ys)
+		if err != nil {
+			panic(err)
+		}
+		return in.At(year)
+	}
+	n := Node{
+		DrawnNM: int(math.Round(logInterp(func(n Node) float64 { return float64(n.DrawnNM) }))),
+		Year:    int(math.Round(year)),
+
+		Vdd:          linInterp(func(n Node) float64 { return n.Vdd }),
+		ToxPhysicalM: logInterp(func(n Node) float64 { return n.ToxPhysicalM }),
+		LeffM:        logInterp(func(n Node) float64 { return n.LeffM }),
+		RsOhmM:       linInterp(func(n Node) float64 { return n.RsOhmM }),
+
+		IonTargetAPerM: linInterp(func(n Node) float64 { return n.IonTargetAPerM }),
+		IoffITRSAPerM:  logInterp(func(n Node) float64 { return n.IoffITRSAPerM }),
+
+		JunctionTempC: linInterp(func(n Node) float64 { return n.JunctionTempC }),
+		AmbientTempC:  linInterp(func(n Node) float64 { return n.AmbientTempC }),
+		ThetaJA:       linInterp(func(n Node) float64 { return n.ThetaJA }),
+
+		MaxPowerW:    linInterp(func(n Node) float64 { return n.MaxPowerW }),
+		DieAreaM2:    linInterp(func(n Node) float64 { return n.DieAreaM2 }),
+		ClockHz:      logInterp(func(n Node) float64 { return n.ClockHz }),
+		LocalClockHz: logInterp(func(n Node) float64 { return n.LocalClockHz }),
+
+		TotalPads:         int(math.Round(linInterp(func(n Node) float64 { return float64(n.TotalPads) }))),
+		PowerBumpFraction: linInterp(func(n Node) float64 { return n.PowerBumpFraction }),
+		BumpPitchMinM:     logInterp(func(n Node) float64 { return n.BumpPitchMinM }),
+		BumpMaxCurrentA:   linInterp(func(n Node) float64 { return n.BumpMaxCurrentA }),
+
+		TopMetalMinWidthM:  logInterp(func(n Node) float64 { return n.TopMetalMinWidthM }),
+		TopMetalThicknessM: logInterp(func(n Node) float64 { return n.TopMetalThicknessM }),
+		WirePitchGlobalM:   logInterp(func(n Node) float64 { return n.WirePitchGlobalM }),
+		WirePitchLocalM:    logInterp(func(n Node) float64 { return n.WirePitchLocalM }),
+
+		LogicTransistorsM: logInterp(func(n Node) float64 { return n.LogicTransistorsM }),
+	}
+	return n, nil
+}

@@ -1,0 +1,80 @@
+package itrs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpolatedNodeHitsTabulatedYears(t *testing.T) {
+	for _, n := range Roadmap() {
+		got, err := InterpolatedNode(float64(n.Year))
+		if err != nil {
+			t.Fatalf("year %d: %v", n.Year, err)
+		}
+		if got.DrawnNM != n.DrawnNM {
+			t.Errorf("year %d: drawn %d, want %d", n.Year, got.DrawnNM, n.DrawnNM)
+		}
+		if math.Abs(got.Vdd-n.Vdd) > 1e-9 {
+			t.Errorf("year %d: Vdd %g, want %g", n.Year, got.Vdd, n.Vdd)
+		}
+		if math.Abs(got.LeffM-n.LeffM)/n.LeffM > 1e-9 {
+			t.Errorf("year %d: Leff %g, want %g", n.Year, got.LeffM, n.LeffM)
+		}
+		if math.Abs(got.ClockHz-n.ClockHz)/n.ClockHz > 1e-9 {
+			t.Errorf("year %d: clock %g, want %g", n.Year, got.ClockHz, n.ClockHz)
+		}
+	}
+}
+
+func TestInterpolatedNodeMidpoints(t *testing.T) {
+	// The 2003 synthetic node lies strictly between 130 nm (2002) and
+	// 100 nm (2005) on every monotone axis.
+	mid, err := InterpolatedNode(2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n130, n100 := MustNode(130), MustNode(100)
+	if !(mid.DrawnNM < n130.DrawnNM && mid.DrawnNM > n100.DrawnNM) {
+		t.Errorf("drawn %d not between %d and %d", mid.DrawnNM, n130.DrawnNM, n100.DrawnNM)
+	}
+	if !(mid.Vdd <= n130.Vdd && mid.Vdd >= n100.Vdd) {
+		t.Errorf("Vdd %g out of band", mid.Vdd)
+	}
+	if !(mid.ClockHz > n130.ClockHz && mid.ClockHz < n100.ClockHz) {
+		t.Errorf("clock %g out of band", mid.ClockHz)
+	}
+	if !(mid.IoffITRSAPerM > n130.IoffITRSAPerM && mid.IoffITRSAPerM < n100.IoffITRSAPerM) {
+		t.Errorf("Ioff projection %g out of band", mid.IoffITRSAPerM)
+	}
+}
+
+func TestInterpolatedNodeBounds(t *testing.T) {
+	if _, err := InterpolatedNode(1995); err == nil {
+		t.Fatalf("pre-roadmap year must error")
+	}
+	if _, err := InterpolatedNode(2020); err == nil {
+		t.Fatalf("post-roadmap year must error")
+	}
+}
+
+// Property: every interpolated year yields physically sane parameters.
+func TestInterpolatedNodeSanity(t *testing.T) {
+	f := func(seed uint8) bool {
+		year := 1999 + float64(seed)/255*15 // [1999, 2014]
+		n, err := InterpolatedNode(year)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9 // log/exp round-trips wobble at the last ulp
+		return n.Vdd > 0 && n.Vdd <= 1.8*(1+eps) &&
+			n.LeffM > 0 && n.LeffM <= 100e-9*(1+eps) &&
+			n.ToxPhysicalM > 0 &&
+			n.ClockHz >= 1.2e9*(1-eps) && n.ClockHz <= 13.5e9*(1+eps) &&
+			n.MaxPowerW >= 90*(1-eps) && n.MaxPowerW <= 183*(1+eps) &&
+			n.PowerDensityWPerM2() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package mathx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interpolator performs piecewise-linear interpolation over a strictly
+// increasing set of x samples. Queries outside the sample range extrapolate
+// linearly from the nearest segment (the roadmap tables are smooth enough
+// that clamping would hide trends).
+type Interpolator struct {
+	xs, ys []float64
+}
+
+// NewInterpolator builds an interpolator from parallel slices. The xs must
+// be strictly increasing and len(xs) == len(ys) >= 2.
+func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("mathx: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("mathx: need at least 2 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("mathx: xs not strictly increasing at index %d (%g <= %g)", i, xs[i], xs[i-1])
+		}
+	}
+	in := &Interpolator{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	return in, nil
+}
+
+// At returns the interpolated value at x.
+func (in *Interpolator) At(x float64) float64 {
+	n := len(in.xs)
+	// sort.SearchFloat64s returns the insertion point.
+	i := sort.SearchFloat64s(in.xs, x)
+	switch {
+	case i == 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	x0, x1 := in.xs[i-1], in.xs[i]
+	y0, y1 := in.ys[i-1], in.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Linspace returns n evenly spaced values from a to b inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n logarithmically spaced values from a to b inclusive
+// (a, b > 0).
+func Logspace(a, b float64, n int) []float64 {
+	if a <= 0 || b <= 0 {
+		panic("mathx: Logspace requires positive endpoints")
+	}
+	if n < 2 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	la, lb := log(a), log(b)
+	step := (lb - la) / float64(n-1)
+	for i := range out {
+		out[i] = exp(la + float64(i)*step)
+	}
+	out[n-1] = b
+	return out
+}

@@ -1,0 +1,138 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpolatorBasics(t *testing.T) {
+	in, err := NewInterpolator([]float64{0, 1, 2}, []float64{0, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 10}, {2, 40},
+		{0.5, 5}, {1.5, 25},
+		{-1, -10}, // linear extrapolation from the first segment
+		{3, 70},   // and from the last
+	}
+	for _, c := range cases {
+		if got := in.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	if _, err := NewInterpolator([]float64{0, 1}, []float64{0}); err == nil {
+		t.Fatalf("length mismatch must error")
+	}
+	if _, err := NewInterpolator([]float64{0}, []float64{0}); err == nil {
+		t.Fatalf("single point must error")
+	}
+	if _, err := NewInterpolator([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatalf("non-increasing xs must error")
+	}
+}
+
+// Property: interpolation of a linear function is exact everywhere.
+func TestInterpolatorLinearExact(t *testing.T) {
+	in, err := NewInterpolator([]float64{-2, 0, 1, 5, 9}, []float64{-5, 1, 4, 16, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e6 {
+			return true
+		}
+		return math.Abs(in.At(x)-(3*x+1)) < 1e-6*math.Max(1, math.Abs(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if got := Linspace(3, 7, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("degenerate linspace: %v", got)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	got := Logspace(0.01, 1, 3)
+	want := []float64{0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("non-positive endpoint must panic")
+		}
+	}()
+	Logspace(0, 1, 3)
+}
+
+func TestStats(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %g, want √2", s.Stddev)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatalf("empty quantile must be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single-element quantile = %g", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %g, want 4", got)
+	}
+	if !math.IsNaN(GeometricMean([]float64{1, -1})) {
+		t.Fatalf("negative input must be NaN")
+	}
+	if !math.IsNaN(GeometricMean(nil)) {
+		t.Fatalf("empty input must be NaN")
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatalf("clamp broken")
+	}
+	if Lerp(0, 10, 0.3) != 3 {
+		t.Fatalf("lerp broken")
+	}
+}

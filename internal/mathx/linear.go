@@ -1,0 +1,197 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+func log(x float64) float64 { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }
+
+// SolveDense solves the n×n linear system A·x = b by Gaussian elimination
+// with partial pivoting. A is row-major and is not modified.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("mathx: bad system dimensions (%d rows, %d rhs)", n, len(b))
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("mathx: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				piv, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("mathx: singular matrix at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		x[col], x[piv] = x[piv], x[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// SparseMatrix is a simple row-compressed symmetric-positive-definite-ish
+// sparse matrix for the resistive-mesh solvers. Entries are stored per row.
+type SparseMatrix struct {
+	N    int
+	cols [][]int32
+	vals [][]float64
+	diag []float64
+}
+
+// NewSparseMatrix creates an empty n×n sparse matrix.
+func NewSparseMatrix(n int) *SparseMatrix {
+	return &SparseMatrix{
+		N:    n,
+		cols: make([][]int32, n),
+		vals: make([][]float64, n),
+		diag: make([]float64, n),
+	}
+}
+
+// Add accumulates v into entry (r, c). Diagonal entries are kept separately.
+func (s *SparseMatrix) Add(r, c int, v float64) {
+	if r == c {
+		s.diag[r] += v
+		return
+	}
+	// Linear scan: rows in mesh problems have ≤ 4 off-diagonals.
+	for i, cc := range s.cols[r] {
+		if int(cc) == c {
+			s.vals[r][i] += v
+			return
+		}
+	}
+	s.cols[r] = append(s.cols[r], int32(c))
+	s.vals[r] = append(s.vals[r], v)
+}
+
+// MulVec computes y = A·x.
+func (s *SparseMatrix) MulVec(x, y []float64) {
+	for r := 0; r < s.N; r++ {
+		sum := s.diag[r] * x[r]
+		cols, vals := s.cols[r], s.vals[r]
+		for i := range cols {
+			sum += vals[i] * x[cols[i]]
+		}
+		y[r] = sum
+	}
+}
+
+// SolveSOR solves A·x = b by successive over-relaxation with factor omega,
+// starting from x0 (may be nil). It iterates until the max residual change
+// per sweep is below tol or maxIter sweeps complete. Returns the solution
+// and the number of sweeps used.
+func (s *SparseMatrix) SolveSOR(b []float64, x0 []float64, omega, tol float64, maxIter int) ([]float64, int, error) {
+	if len(b) != s.N {
+		return nil, 0, fmt.Errorf("mathx: rhs length %d, want %d", len(b), s.N)
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, 0, fmt.Errorf("mathx: SOR omega %g outside (0,2)", omega)
+	}
+	x := make([]float64, s.N)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	for r := 0; r < s.N; r++ {
+		if s.diag[r] == 0 {
+			return nil, 0, fmt.Errorf("mathx: zero diagonal at row %d", r)
+		}
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		maxDelta := 0.0
+		for r := 0; r < s.N; r++ {
+			sum := b[r]
+			cols, vals := s.cols[r], s.vals[r]
+			for i := range cols {
+				sum -= vals[i] * x[cols[i]]
+			}
+			xNew := sum / s.diag[r]
+			delta := omega * (xNew - x[r])
+			x[r] += delta
+			if d := math.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < tol {
+			return x, iter, nil
+		}
+	}
+	return x, maxIter, ErrNoConverge
+}
+
+// SolveCG solves A·x = b by (unpreconditioned) conjugate gradients; A must
+// be symmetric positive definite. Returns the solution and iterations used.
+func (s *SparseMatrix) SolveCG(b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := s.N
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("mathx: rhs length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+	rs := dot(r, r)
+	bNorm := math.Sqrt(rs)
+	if bNorm == 0 {
+		return x, 0, nil
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		s.MulVec(p, ap)
+		alpha := rs / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		if math.Sqrt(rsNew) < tol*bNorm {
+			return x, iter, nil
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x, maxIter, ErrNoConverge
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveDenseKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// Zero leading pivot requires a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := SolveDense(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 4 || x[1] != 3 {
+		t.Fatalf("got %v, want [4 3]", x)
+	}
+}
+
+func TestSolveDenseErrors(t *testing.T) {
+	if _, err := SolveDense(nil, nil); err == nil {
+		t.Fatalf("empty system must error")
+	}
+	if _, err := SolveDense([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatalf("non-square system must error")
+	}
+	if _, err := SolveDense([][]float64{{1, 2}, {2, 4}}, []float64{1, 2}); err == nil {
+		t.Fatalf("singular system must error")
+	}
+	if _, err := SolveDense([][]float64{{1, 2}, {3, 4}}, []float64{1}); err == nil {
+		t.Fatalf("rhs length mismatch must error")
+	}
+}
+
+// Property: residual of SolveDense is tiny for random diagonally dominant
+// systems.
+func TestSolveDenseResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			sum := 0.0
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+				sum += math.Abs(a[i][j])
+			}
+			a[i][i] = sum + 1 // diagonal dominance
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			r := -b[i]
+			for j := range a[i] {
+				r += a[i][j] * x[j]
+			}
+			if math.Abs(r) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildLaplacian(n int) (*SparseMatrix, []float64) {
+	// 1-D Laplacian with Dirichlet ends: SPD.
+	m := NewSparseMatrix(n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, 2)
+		if i > 0 {
+			m.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Add(i, i+1, -1)
+		}
+		b[i] = 1
+	}
+	return m, b
+}
+
+func TestSparseSolversAgreeWithDense(t *testing.T) {
+	const n = 30
+	m, b := buildLaplacian(n)
+
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		dense[i][i] = 2
+		if i > 0 {
+			dense[i][i-1] = -1
+		}
+		if i < n-1 {
+			dense[i][i+1] = -1
+		}
+	}
+	want, err := SolveDense(dense, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sor, _, err := m.SolveSOR(b, nil, 1.8, 1e-12, 100000)
+	if err != nil {
+		t.Fatalf("SOR: %v", err)
+	}
+	cg, _, err := m.SolveCG(b, 1e-12, 10000)
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(sor[i]-want[i]) > 1e-6 {
+			t.Fatalf("SOR[%d] = %g, want %g", i, sor[i], want[i])
+		}
+		if math.Abs(cg[i]-want[i]) > 1e-6 {
+			t.Fatalf("CG[%d] = %g, want %g", i, cg[i], want[i])
+		}
+	}
+}
+
+func TestSparseMulVec(t *testing.T) {
+	m, _ := buildLaplacian(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	m.MulVec(x, y)
+	want := []float64{0, 0, 0, 5} // tridiagonal [2,-1] stencil
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestSparseAccumulates(t *testing.T) {
+	m := NewSparseMatrix(2)
+	m.Add(0, 1, -1)
+	m.Add(0, 1, -1) // accumulate into the same entry
+	m.Add(0, 0, 3)
+	y := make([]float64, 2)
+	m.MulVec([]float64{1, 1}, y)
+	if y[0] != 1 {
+		t.Fatalf("accumulated entry wrong: y[0] = %g, want 1", y[0])
+	}
+}
+
+func TestSORParameterValidation(t *testing.T) {
+	m, b := buildLaplacian(4)
+	if _, _, err := m.SolveSOR(b, nil, 2.5, 1e-9, 100); err == nil {
+		t.Fatalf("omega ≥ 2 must error")
+	}
+	if _, _, err := m.SolveSOR(b[:2], nil, 1.5, 1e-9, 100); err == nil {
+		t.Fatalf("rhs mismatch must error")
+	}
+	bad := NewSparseMatrix(2)
+	bad.Add(0, 1, 1)
+	if _, _, err := bad.SolveSOR([]float64{1, 1}, nil, 1.5, 1e-9, 100); err == nil {
+		t.Fatalf("zero diagonal must error")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m, _ := buildLaplacian(5)
+	x, iters, err := m.SolveCG(make([]float64, 5), 1e-12, 100)
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs should solve instantly: %v (%d iters)", err, iters)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("zero rhs must give zero solution")
+		}
+	}
+}

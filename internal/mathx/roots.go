@@ -1,0 +1,144 @@
+// Package mathx provides the small numerical toolbox the model stack needs:
+// bracketing root finders, 1-D minimizers, interpolation, dense and sparse
+// linear solvers, and summary statistics. Everything is implemented from
+// scratch on the standard library so the module stays dependency-free.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is given an interval whose
+// endpoints do not bracket a sign change.
+var ErrNoBracket = errors.New("mathx: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without reaching the requested tolerance.
+var ErrNoConverge = errors.New("mathx: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. The result is within tol of a true root (in x).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must bracket a root.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	var d, s float64
+	mflag := true
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d, c, fc = c, b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// FindBracket expands outward from [a, b] (geometrically, up to maxGrow
+// doublings) until f changes sign across the interval, returning the
+// bracketing endpoints. It is a convenience for callers with a good initial
+// guess but an uncertain range.
+func FindBracket(f func(float64) float64, a, b float64, maxGrow int) (lo, hi float64, err error) {
+	if a == b {
+		b = a + 1e-6
+	}
+	if a > b {
+		a, b = b, a
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxGrow; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+			return a, b, nil
+		}
+		w := b - a
+		if math.Abs(fa) < math.Abs(fb) {
+			a -= w
+			fa = f(a)
+		} else {
+			b += w
+			fb = f(b)
+		}
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,111 @@
+// Package mcml models MOS current-mode logic (§4, after Musicer & Rabaey):
+// differential gates steered by a constant tail current into resistive
+// loads. MCML burns static power but produces tiny supply transients and a
+// delay set by C·ΔV/Itail, so at high activity it can beat static CMOS on
+// both total power and di/dt — the paper's candidate escape hatch if CMOS
+// leakage becomes intractable.
+package mcml
+
+import (
+	"fmt"
+	"math"
+
+	"nanometer/internal/gate"
+)
+
+// Gate is one MCML differential pair.
+type Gate struct {
+	// TailCurrentA is the steered bias current.
+	TailCurrentA float64
+	// SwingV is the output swing Itail·RL (typically 0.2–0.4·Vdd).
+	SwingV float64
+	// Vdd is the supply.
+	Vdd float64
+	// LoadF is the single-ended load capacitance each output drives.
+	LoadF float64
+}
+
+// Validate reports invalid configurations.
+func (g *Gate) Validate() error {
+	switch {
+	case g.TailCurrentA <= 0:
+		return fmt.Errorf("mcml: non-positive tail current %g", g.TailCurrentA)
+	case g.SwingV <= 0 || g.SwingV >= g.Vdd:
+		return fmt.Errorf("mcml: swing %g outside (0, Vdd=%g)", g.SwingV, g.Vdd)
+	case g.LoadF <= 0:
+		return fmt.Errorf("mcml: non-positive load %g", g.LoadF)
+	}
+	return nil
+}
+
+// LoadResistance returns RL = swing / Itail.
+func (g *Gate) LoadResistance() float64 { return g.SwingV / g.TailCurrentA }
+
+// Delay returns the 50 % propagation delay: 0.69·RL·C.
+func (g *Gate) Delay() float64 { return 0.69 * g.LoadResistance() * g.LoadF }
+
+// Power returns the gate's power — static, independent of activity.
+func (g *Gate) Power() float64 { return g.TailCurrentA * g.Vdd }
+
+// SupplyCurrentRipple returns the gate's supply-current variation over a
+// switching event. The tail current is steered, not switched, so the ripple
+// is a small fraction of the bias (transistor mismatch and charging of the
+// common node), modeled at 10 %.
+func (g *Gate) SupplyCurrentRipple() float64 { return 0.10 * g.TailCurrentA }
+
+// ForDelay sizes the tail current to hit a target delay with the given
+// swing and load.
+func ForDelay(targetS, swingV, vdd, loadF float64) (*Gate, error) {
+	if targetS <= 0 {
+		return nil, fmt.Errorf("mcml: non-positive delay target %g", targetS)
+	}
+	g := &Gate{
+		TailCurrentA: 0.69 * swingV * loadF / targetS,
+		SwingV:       swingV,
+		Vdd:          vdd,
+		LoadF:        loadF,
+	}
+	return g, g.Validate()
+}
+
+// Comparison contrasts MCML with a static-CMOS gate of equal delay and load.
+type Comparison struct {
+	// McmlPowerW is activity-independent; CmosPowerW evaluated at the
+	// comparison activity and clock.
+	McmlPowerW, CmosPowerW float64
+	// CrossoverActivity is the activity at which the two powers match;
+	// above it MCML wins.
+	CrossoverActivity float64
+	// CurrentRippleRatio is MCML ripple / CMOS peak switching current.
+	CurrentRippleRatio float64
+}
+
+// Compare builds an MCML gate matching the CMOS gate's FO4 delay and
+// compares power at the given activity and clock.
+func Compare(cmos *gate.Gate, vdd, tKelvin, activity, clockHz float64) (Comparison, error) {
+	load := cmos.FO4Load(-1)
+	target := cmos.Delay(vdd, tKelvin, load)
+	m, err := ForDelay(target, 0.3*vdd, vdd, load)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmosDyn := cmos.DynamicPower(activity, clockHz, vdd, load) + cmos.LeakagePower(vdd, tKelvin)
+	cmp := Comparison{
+		McmlPowerW: m.Power(),
+		CmosPowerW: cmosDyn,
+	}
+	// Crossover: α* where α·f·C_eff·Vdd² + P_leak = Itail·Vdd.
+	e := cmos.SwitchingEnergy(vdd, load)
+	leak := cmos.LeakagePower(vdd, tKelvin)
+	if e > 0 && clockHz > 0 {
+		a := (m.Power() - leak) / (clockHz * e)
+		cmp.CrossoverActivity = math.Max(0, a)
+	}
+	// CMOS peak switching current: full load slewed over ~1/3 of the gate
+	// delay.
+	cmosPeak := load * vdd / (target / 3)
+	if cmosPeak > 0 {
+		cmp.CurrentRippleRatio = m.SupplyCurrentRipple() / cmosPeak
+	}
+	return cmp, nil
+}

@@ -1,0 +1,216 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nanometer/internal/gate"
+)
+
+// Text netlist format — a small structural format so circuits can be saved,
+// diffed, and exchanged between the CLI tools:
+//
+//	# comments and blank lines are ignored
+//	circuit <nodeNM> <lowVddRatio> <numPIs> <periodS> <piActivity>
+//	gate <id> <kind> <size> <vddClass> <vthClass> <wireCapF> <po:0|1> <lc:0|1> <in> [<in>...]
+//
+// Inputs reference gate IDs, or pN for primary input N. Gates must appear
+// in topological order (the in-memory invariant).
+
+// Write serializes the circuit.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	ratio := 0.0
+	if c.Tech.HasLowVdd() {
+		ratio = c.Tech.Vdd(1) / c.Tech.VddH()
+	}
+	fmt.Fprintf(bw, "# nanometer netlist\n")
+	fmt.Fprintf(bw, "circuit %d %.6g %d %.9g %.6g\n",
+		c.Tech.NodeNM, ratio, c.NumPIs, c.ClockPeriodS, c.PIActivity)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		fmt.Fprintf(bw, "gate %d %s %.9g %d %d %.9g %s %s",
+			g.ID, kindToken(g.Kind), g.Size, g.VddClass, g.VthClass, g.WireCapF,
+			boolToken(g.IsPO), boolToken(g.NeedsLC))
+		for _, in := range g.Inputs {
+			if pi, ok := IsPI(in); ok {
+				fmt.Fprintf(bw, " p%d", pi)
+			} else {
+				fmt.Fprintf(bw, " %d", in)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a circuit. The tech is rebuilt from the header.
+func Read(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if c != nil {
+				return nil, fmt.Errorf("netlist: line %d: duplicate circuit header", lineNo)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("netlist: line %d: circuit header needs 5 fields", lineNo)
+			}
+			nodeNM, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: node: %w", lineNo, err)
+			}
+			ratio, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: ratio: %w", lineNo, err)
+			}
+			pis, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: PIs: %w", lineNo, err)
+			}
+			period, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: period: %w", lineNo, err)
+			}
+			act, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: activity: %w", lineNo, err)
+			}
+			tech, err := NewTech(nodeNM, ratio)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+			c = &Circuit{Tech: tech, NumPIs: pis, ClockPeriodS: period, PIActivity: act}
+		case "gate":
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: gate before circuit header", lineNo)
+			}
+			if len(fields) < 10 {
+				return nil, fmt.Errorf("netlist: line %d: gate needs ≥9 fields", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != len(c.Gates) {
+				return nil, fmt.Errorf("netlist: line %d: gate IDs must be sequential", lineNo)
+			}
+			kind, err := kindFromToken(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+			}
+			size, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: size: %w", lineNo, err)
+			}
+			vdd, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: vddClass: %w", lineNo, err)
+			}
+			vth, err := strconv.Atoi(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: vthClass: %w", lineNo, err)
+			}
+			wcap, err := strconv.ParseFloat(fields[6], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: wireCap: %w", lineNo, err)
+			}
+			po, err := boolFromToken(fields[7])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: po: %w", lineNo, err)
+			}
+			lc, err := boolFromToken(fields[8])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: lc: %w", lineNo, err)
+			}
+			g := Gate{
+				ID: id, Kind: kind, Size: size, VddClass: vdd, VthClass: vth,
+				WireCapF: wcap, IsPO: po, NeedsLC: lc,
+			}
+			for _, tok := range fields[9:] {
+				if strings.HasPrefix(tok, "p") {
+					pi, err := strconv.Atoi(tok[1:])
+					if err != nil {
+						return nil, fmt.Errorf("netlist: line %d: PI ref %q", lineNo, tok)
+					}
+					g.Inputs = append(g.Inputs, PI(pi))
+					continue
+				}
+				ref, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("netlist: line %d: gate ref %q", lineNo, tok)
+				}
+				if ref < 0 || ref >= id {
+					return nil, fmt.Errorf("netlist: line %d: gate ref %d breaks topological order", lineNo, ref)
+				}
+				g.Inputs = append(g.Inputs, ref)
+			}
+			c.Gates = append(c.Gates, g)
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("netlist: no circuit header found")
+	}
+	c.Rebuild()
+	// Rebuild marks sink gates as POs; restore the serialized flags (a PO
+	// flag may also mark an internal register tap).
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: parsed circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+func kindToken(k gate.Kind) string {
+	switch k {
+	case gate.Inv:
+		return "inv"
+	case gate.Nand:
+		return "nand"
+	case gate.Nor:
+		return "nor"
+	}
+	return "?"
+}
+
+func kindFromToken(s string) (gate.Kind, error) {
+	switch s {
+	case "inv":
+		return gate.Inv, nil
+	case "nand":
+		return gate.Nand, nil
+	case "nor":
+		return gate.Nor, nil
+	}
+	return 0, fmt.Errorf("unknown gate kind %q", s)
+}
+
+func boolToken(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func boolFromToken(s string) (bool, error) {
+	switch s {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad flag %q", s)
+}

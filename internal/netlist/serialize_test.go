@@ -1,0 +1,175 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nanometer/internal/units"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tech := MustNewTech(100, 0.65)
+	p := DefaultGenParams()
+	p.Gates = 300
+	p.Seed = 5
+	c, err := Generate(tech, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ClockPeriodS = 4.2e-10
+	// Decorate with non-default state to prove it survives.
+	c.Gates[10].VddClass = 1
+	c.Gates[10].NeedsLC = true
+	c.Gates[20].VthClass = 1
+	c.Gates[30].Size = 3.75
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPIs != c.NumPIs || back.ClockPeriodS != c.ClockPeriodS || back.PIActivity != c.PIActivity {
+		t.Fatalf("header fields lost")
+	}
+	if back.Tech.NodeNM != 100 || !back.Tech.HasLowVdd() {
+		t.Fatalf("tech reconstruction lost the node or supplies")
+	}
+	if !units.ApproxEqual(back.Tech.Vdd(1)/back.Tech.VddH(), 0.65, 1e-6, 0) {
+		t.Fatalf("low-Vdd ratio lost")
+	}
+	if len(back.Gates) != len(c.Gates) {
+		t.Fatalf("gate count %d vs %d", len(back.Gates), len(c.Gates))
+	}
+	for i := range c.Gates {
+		a, b := &c.Gates[i], &back.Gates[i]
+		if a.Kind != b.Kind || a.Size != b.Size || a.VddClass != b.VddClass ||
+			a.VthClass != b.VthClass || a.NeedsLC != b.NeedsLC || a.IsPO != b.IsPO {
+			t.Fatalf("gate %d fields differ: %+v vs %+v", i, a, b)
+		}
+		if !units.ApproxEqual(a.WireCapF, b.WireCapF, 1e-8, 0) {
+			t.Fatalf("gate %d wire cap differs", i)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("gate %d input count differs", i)
+		}
+		for k := range a.Inputs {
+			if a.Inputs[k] != b.Inputs[k] {
+				t.Fatalf("gate %d input %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no header":       "gate 0 inv 1 0 0 1e-15 0 0 p0\n",
+		"dup header":      "circuit 100 0.65 4 1e-9 0.1\ncircuit 100 0.65 4 1e-9 0.1\n",
+		"short header":    "circuit 100 0.65 4\n",
+		"bad node":        "circuit 90 0.65 4 1e-9 0.1\n",
+		"bad kind":        "circuit 100 0.65 4 1e-9 0.1\ngate 0 xor 1 0 0 1e-15 0 0 p0\n",
+		"non-sequential":  "circuit 100 0.65 4 1e-9 0.1\ngate 5 inv 1 0 0 1e-15 0 0 p0\n",
+		"forward ref":     "circuit 100 0.65 4 1e-9 0.1\ngate 0 inv 1 0 0 1e-15 0 0 7\n",
+		"bad flag":        "circuit 100 0.65 4 1e-9 0.1\ngate 0 inv 1 0 0 1e-15 2 0 p0\n",
+		"bad PI ref":      "circuit 100 0.65 4 1e-9 0.1\ngate 0 inv 1 0 0 1e-15 0 0 px\n",
+		"unknown record":  "circuit 100 0.65 4 1e-9 0.1\nwire 0\n",
+		"empty file":      "",
+		"out-of-range PI": "circuit 100 0.65 4 1e-9 0.1\ngate 0 inv 1 0 0 1e-15 0 0 p99\n",
+		"bad vdd class":   "circuit 100 0.65 4 1e-9 0.1\ngate 0 inv 1 9 0 1e-15 0 0 p0\n",
+		"zero size":       "circuit 100 0.65 4 1e-9 0.1\ngate 0 inv 0 0 0 1e-15 0 0 p0\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	text := `
+# a comment
+
+circuit 100 0.65 2 1e-9 0.1
+# another
+gate 0 inv 2 0 0 1e-15 0 0 p0
+
+gate 1 nand 2 0 0 1e-15 0 0 0 p1
+`
+	c, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("got %d gates", len(c.Gates))
+	}
+	if !c.Gates[1].IsPO {
+		t.Fatalf("sink gate must be marked PO on rebuild")
+	}
+}
+
+func TestWriteSingleSupply(t *testing.T) {
+	tech := MustNewTech(100, 0)
+	p := DefaultGenParams()
+	p.Gates = 50
+	c, err := Generate(tech, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ClockPeriodS = 1e-9
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tech.HasLowVdd() {
+		t.Fatalf("single-supply circuit must round-trip without a second rail")
+	}
+}
+
+// Property: serialization round-trips any generated circuit exactly (per
+// the fields the format carries).
+func TestSerializeRoundTripQuick(t *testing.T) {
+	tech := MustNewTech(70, 0.7)
+	check := func(seed int64, gates int) bool {
+		p := DefaultGenParams()
+		p.Gates = 50 + gates%200
+		p.Seed = seed
+		c, err := Generate(tech, p)
+		if err != nil {
+			return false
+		}
+		c.ClockPeriodS = 1e-9
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Gates) != len(c.Gates) {
+			return false
+		}
+		for i := range c.Gates {
+			a, b := &c.Gates[i], &back.Gates[i]
+			if a.Kind != b.Kind || a.Size != b.Size || len(a.Inputs) != len(b.Inputs) {
+				return false
+			}
+		}
+		return back.Validate() == nil
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		if !check(seed, int(seed)*37) {
+			t.Fatalf("round trip failed for seed %d", seed)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package powergrid models the power-distribution analysis of the paper's
+// §4: a BACPAC-style analytic model for sizing top-level Vdd/GND rails
+// against a hot-spot IR-drop budget as a function of bump pitch, a routing-
+// resource accounting, a from-scratch resistive-mesh solver used to validate
+// the analytic model, and the L·di/dt supply-transient model for sleep-mode
+// wakeup.
+package powergrid
+
+import (
+	"fmt"
+	"math"
+
+	"nanometer/internal/itrs"
+)
+
+// GridSpec describes a top-level power-grid sizing problem.
+type GridSpec struct {
+	// Node supplies the technology parameters.
+	Node itrs.Node
+	// BumpPitchM is the power-bump pitch (Vdd and GND bumps interleaved on
+	// this pitch).
+	BumpPitchM float64
+	// HotspotFactor multiplies the uniform power density (the paper uses
+	// 4×: half the die is memory at ~1/10 logic density, and some logic
+	// runs at twice the average).
+	HotspotFactor float64
+	// IRBudgetFraction is the allowed IR drop as a fraction of Vdd across
+	// the full supply loop (the paper's constraint is < 10 %).
+	IRBudgetFraction float64
+	// TopMetalShare is the slice of the IR budget allocated to the
+	// top-level rails; the rest is reserved for the package and the
+	// designer-controlled lower grid. Default 0.5.
+	TopMetalShare float64
+	// LandingPadFraction is the constant top-level routing share consumed
+	// by bump landing pads (the paper uses 16 %).
+	LandingPadFraction float64
+}
+
+// DefaultSpec returns the paper's Figure 5 configuration for a node with
+// the given bump pitch.
+func DefaultSpec(node itrs.Node, bumpPitchM float64) GridSpec {
+	return GridSpec{
+		Node:               node,
+		BumpPitchM:         bumpPitchM,
+		HotspotFactor:      4,
+		IRBudgetFraction:   0.10,
+		TopMetalShare:      0.5,
+		LandingPadFraction: 0.16,
+	}
+}
+
+// RailSizing is the outcome of the analytic model.
+type RailSizing struct {
+	// RailWidthM is the required Vdd (and GND) rail width.
+	RailWidthM float64
+	// WidthOverMin is the rail width normalized to the minimum top-level
+	// metal width — Figure 5's left axis.
+	WidthOverMin float64
+	// RailRoutingFraction is the share of top-level routing consumed by
+	// the rails alone; TotalRoutingFraction adds the landing pads —
+	// Figure 5's right axis.
+	RailRoutingFraction  float64
+	TotalRoutingFraction float64
+	// CellCurrentA is the supply current drawn within one bump cell at the
+	// hot-spot density.
+	CellCurrentA float64
+	// DropV is the worst-case IR drop the sizing admits (at budget).
+	DropV float64
+}
+
+// hot-spot current density (A/m²) drawn from the grid.
+func (s GridSpec) currentDensity() float64 {
+	return s.HotspotFactor * s.Node.PowerDensityWPerM2() / s.Node.Vdd
+}
+
+// topBudgetV is the voltage budget allocated to the top-level rails.
+func (s GridSpec) topBudgetV() float64 {
+	share := s.TopMetalShare
+	if share == 0 {
+		share = 0.5
+	}
+	return share * s.IRBudgetFraction * s.Node.Vdd
+}
+
+// SizeRails returns the minimum rail width meeting the IR budget under a
+// distributed-load rail model: rails run at the bump pitch P with a bump at
+// every rail crossing, so each rail span of length P between bumps carries
+// the uniformly distributed current of a P-wide strip and is fed from both
+// ends. The peak drop of such a span is (j·P)·P²·(ρs/W)/8; Vdd and GND
+// rails in series double it:
+//
+//	drop = 2 · (ρs/W) · j·P³ / 8 = ρs·j·P³ / (4·W)
+//
+// Setting drop = share·budget·Vdd gives W.
+func (s GridSpec) SizeRails() (RailSizing, error) {
+	if s.BumpPitchM <= 0 {
+		return RailSizing{}, fmt.Errorf("powergrid: non-positive bump pitch %g", s.BumpPitchM)
+	}
+	if s.IRBudgetFraction <= 0 || s.IRBudgetFraction >= 1 {
+		return RailSizing{}, fmt.Errorf("powergrid: IR budget %g outside (0,1)", s.IRBudgetFraction)
+	}
+	share := s.TopMetalShare
+	if share == 0 {
+		share = 0.5
+	}
+	j := s.currentDensity()
+	rhoS := s.Node.TopMetalSheetOhms()
+	p := s.BumpPitchM
+	budget := share * s.IRBudgetFraction * s.Node.Vdd
+	w := rhoS * j * p * p * p / (4 * budget)
+	sz := RailSizing{
+		RailWidthM:   w,
+		WidthOverMin: w / s.Node.TopMetalMinWidthM,
+		CellCurrentA: j * p * p,
+		DropV:        budget,
+	}
+	// A Vdd rail and a GND rail per bump pitch.
+	sz.RailRoutingFraction = 2 * w / p
+	sz.TotalRoutingFraction = sz.RailRoutingFraction + s.LandingPadFraction
+	return sz, nil
+}
+
+// FeasibleRails reports whether the sizing fits the die at all: the two
+// rails cannot exceed the bump pitch minus the landing pads.
+func (s GridSpec) FeasibleRails() (RailSizing, bool, error) {
+	sz, err := s.SizeRails()
+	if err != nil {
+		return RailSizing{}, false, err
+	}
+	return sz, sz.RailRoutingFraction <= 1-s.LandingPadFraction, nil
+}
+
+// BumpCurrentCheck compares the worst-case chip supply current against the
+// ITRS per-bump capability — the paper's observation that 1500 Vdd bumps at
+// 35 nm cannot carry a 300 A draw.
+type BumpCurrentCheck struct {
+	// SupplyCurrentA is the chip's worst-case draw.
+	SupplyCurrentA float64
+	// VddBumps is the number of Vdd bumps.
+	VddBumps int
+	// PerBumpA is the resulting per-bump current; CapabilityA the ITRS
+	// projection; Compatible whether the plan closes.
+	PerBumpA, CapabilityA float64
+	Compatible            bool
+	// RequiredBumps is the Vdd bump count that would close the plan.
+	RequiredBumps int
+}
+
+// CheckBumpCurrent evaluates the node's ITRS bump plan.
+func CheckBumpCurrent(node itrs.Node) BumpCurrentCheck {
+	c := BumpCurrentCheck{
+		SupplyCurrentA: node.SupplyCurrentA(),
+		VddBumps:       node.VddBumps(),
+		CapabilityA:    node.BumpMaxCurrentA,
+	}
+	if c.VddBumps > 0 {
+		c.PerBumpA = c.SupplyCurrentA / float64(c.VddBumps)
+	}
+	c.Compatible = c.PerBumpA <= c.CapabilityA
+	if node.BumpMaxCurrentA > 0 {
+		c.RequiredBumps = int(math.Ceil(c.SupplyCurrentA / node.BumpMaxCurrentA))
+	}
+	return c
+}

@@ -1,0 +1,211 @@
+package powergrid
+
+import (
+	"fmt"
+	"math"
+
+	"nanometer/internal/mathx"
+)
+
+// Mesh is a 2-D resistive power-grid model of one bump cell: an n×n node
+// mesh spanning the bump pitch, rails of the sized width in both routing
+// directions, uniform (hot-spot) current draw per node, and the bump as the
+// voltage source in the center. It validates the 1-D analytic strip model
+// (which should be conservative, since it ignores 2-D current spreading).
+type Mesh struct {
+	// N is the mesh dimension (nodes per side, odd so a center node
+	// exists).
+	N int
+	// PitchM is the cell span (the bump pitch).
+	PitchM float64
+	// EdgeOhms is the resistance of one mesh edge.
+	EdgeOhms float64
+	// NodeCurrentA is the draw per mesh node.
+	NodeCurrentA float64
+}
+
+// NewMesh discretizes a grid spec with rails of width railWidthM at rail
+// pitch railPitchM into an n×n mesh (n forced odd, ≥ 5).
+func NewMesh(s GridSpec, railWidthM, railPitchM float64, n int) (*Mesh, error) {
+	if n < 5 {
+		n = 5
+	}
+	if n%2 == 0 {
+		n++
+	}
+	if railWidthM <= 0 || railPitchM <= 0 {
+		return nil, fmt.Errorf("powergrid: non-positive rail geometry (w=%g, p=%g)", railWidthM, railPitchM)
+	}
+	seg := s.BumpPitchM / float64(n-1)
+	// Equivalent sheet: rails of width W at pitch p give an effective
+	// sheet resistance of ρs·p/W; a mesh edge spans one square of it.
+	rEdge := s.Node.TopMetalSheetOhms() * railPitchM / railWidthM
+	j := s.currentDensity()
+	return &Mesh{
+		N:            n,
+		PitchM:       s.BumpPitchM,
+		EdgeOhms:     rEdge,
+		NodeCurrentA: j * seg * seg,
+	}, nil
+}
+
+// Solve computes the node drops with the center node pinned at 0 V and
+// reflective (Neumann) cell boundaries, returning the maximum IR drop on
+// the net. The same drop occurs on the ground net, so the supply-loop drop
+// is twice the returned value.
+func (m *Mesh) Solve() (maxDropV float64, err error) {
+	n := m.N
+	total := n * n
+	center := (n/2)*n + n/2
+	// Unknowns: all nodes except the pinned center.
+	idx := make([]int, total)
+	cnt := 0
+	for i := 0; i < total; i++ {
+		if i == center {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = cnt
+		cnt++
+	}
+	g := 1 / m.EdgeOhms
+	mat := mathx.NewSparseMatrix(cnt)
+	rhs := make([]float64, cnt)
+	at := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			u := at(r, c)
+			if idx[u] < 0 {
+				continue
+			}
+			row := idx[u]
+			rhs[row] = m.NodeCurrentA
+			deg := 0.0
+			neighbors := [][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}}
+			for _, nb := range neighbors {
+				if nb[0] < 0 || nb[0] >= n || nb[1] < 0 || nb[1] >= n {
+					continue // reflective boundary: no conductance out
+				}
+				v := at(nb[0], nb[1])
+				deg += g
+				if idx[v] >= 0 {
+					mat.Add(row, idx[v], -g)
+				}
+				// Pinned neighbor contributes 0 to RHS (V = 0).
+			}
+			mat.Add(row, row, deg)
+		}
+	}
+	sol, _, err := mat.SolveCG(rhs, 1e-10, 20*cnt)
+	if err != nil {
+		return 0, fmt.Errorf("powergrid: mesh solve: %w", err)
+	}
+	for _, v := range sol {
+		// Drops are positive (current flows into the pinned bump).
+		if d := math.Abs(v); d > maxDropV {
+			maxDropV = d
+		}
+	}
+	return maxDropV, nil
+}
+
+// PessimisticRatio solves the 2-D smeared mesh for a sized grid and returns
+// mesh-loop-drop / top-metal-budget. The mesh routes *all* current —
+// including the share the designer's lower grid would normally carry
+// sideways — through the top-level sheet, so ratios well above 1 quantify
+// how much the analytic model leans on a healthy lower grid.
+func PessimisticRatio(s GridSpec, n int) (ratio float64, err error) {
+	sz, err := s.SizeRails()
+	if err != nil {
+		return 0, err
+	}
+	mesh, err := NewMesh(s, sz.RailWidthM, s.BumpPitchM, n)
+	if err != nil {
+		return 0, err
+	}
+	drop, err := mesh.Solve()
+	if err != nil {
+		return 0, err
+	}
+	return 2 * drop / s.topBudgetV(), nil
+}
+
+// Ladder is the 1-D discretization of one rail span between two bumps: n
+// segments with the strip current tapped uniformly along the span and both
+// ends pinned — the exact structure the analytic sizing integrates.
+type Ladder struct {
+	// N is the number of segments.
+	N int
+	// SegOhms is the per-segment rail resistance; TapCurrentA the draw per
+	// interior node.
+	SegOhms, TapCurrentA float64
+}
+
+// NewLadder discretizes a sized rail span.
+func NewLadder(s GridSpec, railWidthM float64, n int) (*Ladder, error) {
+	if n < 4 {
+		n = 4
+	}
+	if railWidthM <= 0 {
+		return nil, fmt.Errorf("powergrid: non-positive rail width %g", railWidthM)
+	}
+	seg := s.BumpPitchM / float64(n)
+	return &Ladder{
+		N:           n,
+		SegOhms:     s.Node.TopMetalSheetOhms() * seg / railWidthM,
+		TapCurrentA: s.currentDensity() * s.BumpPitchM * seg,
+	}, nil
+}
+
+// Solve returns the peak drop along the span (both ends grounded).
+func (l *Ladder) Solve() (float64, error) {
+	// Interior nodes 1..N-1; tridiagonal system solved directly.
+	n := l.N - 1
+	if n < 1 {
+		return 0, fmt.Errorf("powergrid: ladder too short")
+	}
+	g := 1 / l.SegOhms
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		a[i][i] = 2 * g
+		if i > 0 {
+			a[i][i-1] = -g
+		}
+		if i < n-1 {
+			a[i][i+1] = -g
+		}
+		b[i] = l.TapCurrentA
+	}
+	v, err := mathx.SolveDense(a, b)
+	if err != nil {
+		return 0, err
+	}
+	peak := 0.0
+	for _, x := range v {
+		if x > peak {
+			peak = x
+		}
+	}
+	return peak, nil
+}
+
+// ValidateAnalytic solves the 1-D ladder for a sized grid and returns the
+// ratio ladder-loop-drop / top-metal-budget. Values ≈ 1 (from below as the
+// discretization refines) confirm the closed-form sizing.
+func ValidateAnalytic(s GridSpec, n int) (ratio float64, err error) {
+	sz, err := s.SizeRails()
+	if err != nil {
+		return 0, err
+	}
+	lad, err := NewLadder(s, sz.RailWidthM, n)
+	if err != nil {
+		return 0, err
+	}
+	drop, err := lad.Solve()
+	if err != nil {
+		return 0, err
+	}
+	return 2 * drop / s.topBudgetV(), nil
+}

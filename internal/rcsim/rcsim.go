@@ -1,0 +1,166 @@
+// Package rcsim is a small transient circuit simulator for driven
+// distributed-RC lines: the wire is discretized into an RC ladder, the
+// driver into a Thevenin source, and the step response integrated by
+// backward Euler with a Thomas-algorithm tridiagonal solve per step. It
+// exists to validate the analytical delay layer (Elmore, the driven-delay
+// formula, and the dominant-pole detection-threshold model in
+// internal/signaling) against a numerical ground truth.
+package rcsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Line describes the simulation setup.
+type Line struct {
+	// RPerM and CPerM are the distributed parasitics.
+	RPerM, CPerM float64
+	// LengthM is the wire length; Segments the discretization (≥ 8).
+	LengthM  float64
+	Segments int
+	// DriverOhms is the source resistance driving the near end.
+	DriverOhms float64
+	// LoadF is the far-end lumped load.
+	LoadF float64
+}
+
+// Validate reports setup errors.
+func (l *Line) Validate() error {
+	switch {
+	case l.RPerM <= 0 || l.CPerM <= 0:
+		return fmt.Errorf("rcsim: non-positive parasitics (r=%g, c=%g)", l.RPerM, l.CPerM)
+	case l.LengthM <= 0:
+		return fmt.Errorf("rcsim: non-positive length %g", l.LengthM)
+	case l.DriverOhms < 0 || l.LoadF < 0:
+		return fmt.Errorf("rcsim: negative driver or load")
+	}
+	return nil
+}
+
+// StepResponse simulates a 0→1 V step at the driver and returns the time
+// for the far-end node to cross each of the requested thresholds (fractions
+// of the final value, ascending). The integration runs until the last
+// threshold is crossed.
+func (l *Line) StepResponse(thresholds []float64) ([]float64, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	n := l.Segments
+	if n < 8 {
+		n = 8
+	}
+	for i, th := range thresholds {
+		if th <= 0 || th >= 1 {
+			return nil, fmt.Errorf("rcsim: threshold %g outside (0,1)", th)
+		}
+		if i > 0 && th <= thresholds[i-1] {
+			return nil, fmt.Errorf("rcsim: thresholds must ascend")
+		}
+	}
+	seg := l.LengthM / float64(n)
+	rSeg := l.RPerM * seg
+	cSeg := l.CPerM * seg
+	// Node capacitances: interior nodes carry cSeg, the far end cSeg/2 +
+	// load, node 0 cSeg/2 (behind the driver resistance).
+	caps := make([]float64, n+1)
+	for i := range caps {
+		caps[i] = cSeg
+	}
+	caps[0] = cSeg / 2
+	caps[n] = cSeg/2 + l.LoadF
+
+	// Time constant scale for step sizing.
+	tau := (l.DriverOhms + l.RPerM*l.LengthM) * (l.CPerM*l.LengthM + l.LoadF)
+	dt := tau / 2000
+	if dt <= 0 {
+		return nil, fmt.Errorf("rcsim: degenerate time constant")
+	}
+	v := make([]float64, n+1)
+	out := make([]float64, len(thresholds))
+	for i := range out {
+		out[i] = -1
+	}
+	// Backward Euler: (C/dt + G)·v_new = C/dt·v_old + b, tridiagonal.
+	// Conductances: g0 = 1/driver between source (1 V) and node 0; gSeg
+	// between adjacent nodes.
+	gSeg := 1 / rSeg
+	g0 := math.Inf(1)
+	if l.DriverOhms > 0 {
+		g0 = 1 / l.DriverOhms
+	}
+	a := make([]float64, n+1) // sub-diagonal
+	b := make([]float64, n+1) // diagonal
+	cDiag := make([]float64, n+1)
+	rhs := make([]float64, n+1)
+	next := 0
+	maxSteps := 400000
+	for step := 1; step <= maxSteps && next < len(thresholds); step++ {
+		for i := 0; i <= n; i++ {
+			b[i] = caps[i] / dt
+			a[i], cDiag[i] = 0, 0
+			rhs[i] = caps[i] / dt * v[i]
+			if i > 0 {
+				b[i] += gSeg
+				a[i] = -gSeg
+			}
+			if i < n {
+				b[i] += gSeg
+				cDiag[i] = -gSeg
+			}
+		}
+		if math.IsInf(g0, 1) {
+			// Ideal driver: node 0 pinned at 1 V.
+			b[0] = 1
+			cDiag[0] = 0
+			rhs[0] = 1
+			// Remove the coupling of node 1 to node 0's equation by moving
+			// it to the RHS.
+			rhs[1] -= a[1] * 1
+			a[1] = 0
+		} else {
+			b[0] += g0
+			rhs[0] += g0 * 1.0 // source at 1 V
+		}
+		solveTridiag(a, b, cDiag, rhs, v)
+		t := float64(step) * dt
+		for next < len(thresholds) && v[n] >= thresholds[next] {
+			// Linear back-interpolation within the step.
+			out[next] = t
+			next++
+		}
+	}
+	if next < len(thresholds) {
+		return nil, fmt.Errorf("rcsim: response did not reach threshold %g", thresholds[next])
+	}
+	return out, nil
+}
+
+// Delay50 returns the 50 % step-response delay.
+func (l *Line) Delay50() (float64, error) {
+	ts, err := l.StepResponse([]float64{0.5})
+	if err != nil {
+		return 0, err
+	}
+	return ts[0], nil
+}
+
+// solveTridiag solves the tridiagonal system in place (Thomas algorithm).
+// a is the sub-diagonal, b the diagonal, c the super-diagonal, d the RHS;
+// the solution lands in x. All slices share length n.
+func solveTridiag(a, b, c, d, x []float64) {
+	n := len(b)
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		m := b[i] - a[i]*cp[i-1]
+		cp[i] = c[i] / m
+		dp[i] = (d[i] - a[i]*dp[i-1]) / m
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}

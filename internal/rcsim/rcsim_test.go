@@ -1,0 +1,138 @@
+package rcsim
+
+import (
+	"math"
+	"testing"
+
+	"nanometer/internal/wire"
+)
+
+func line50nm(length, rdrv, cload float64) *Line {
+	w := wire.MustForNode(50, wire.Global)
+	return &Line{
+		RPerM: w.RPerM(), CPerM: w.CPerM(),
+		LengthM: length, Segments: 64,
+		DriverOhms: rdrv, LoadF: cload,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Line{
+		{RPerM: 0, CPerM: 1, LengthM: 1},
+		{RPerM: 1, CPerM: 1, LengthM: 0},
+		{RPerM: 1, CPerM: 1, LengthM: 1, DriverOhms: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad line %d accepted", i)
+		}
+	}
+}
+
+func TestLumpedRCAgainstClosedForm(t *testing.T) {
+	// A driver-dominated line (negligible wire resistance) is a single RC:
+	// the 50 % delay is ln(2)·R·C.
+	l := &Line{
+		RPerM: 1, CPerM: 1e-12, // 1 Ω/m: wire R irrelevant
+		LengthM: 1e-3, Segments: 16,
+		DriverOhms: 10e3, LoadF: 50e-15,
+	}
+	got, err := l.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctot := l.CPerM*l.LengthM + l.LoadF
+	want := math.Ln2 * l.DriverOhms * ctot
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("lumped RC delay = %g, closed form %g", got, want)
+	}
+}
+
+func TestIdealDriverMatchesElmoreFactor(t *testing.T) {
+	// An ideally driven distributed line's 50 % delay is ≈0.38·R·C
+	// (the factor the analytical layer uses everywhere).
+	l := line50nm(5e-3, 0, 0)
+	got, err := l.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := l.RPerM * l.CPerM * l.LengthM * l.LengthM
+	factor := got / rc
+	if factor < 0.34 || factor > 0.42 {
+		t.Fatalf("distributed 50%% factor = %.3f, want ≈0.38", factor)
+	}
+}
+
+func TestDrivenDelayFormulaAccuracy(t *testing.T) {
+	// The analytical DrivenDelay expression tracks the simulator within
+	// ~15 % across driver/load regimes.
+	w := wire.MustForNode(50, wire.Global)
+	cases := []struct{ len, rdrv, cload float64 }{
+		{2e-3, 500, 5e-15},
+		{5e-3, 1000, 20e-15},
+		{10e-3, 200, 50e-15},
+	}
+	for _, cs := range cases {
+		l := line50nm(cs.len, cs.rdrv, cs.cload)
+		sim, err := l.Delay50()
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := w.DrivenDelay(cs.len, cs.rdrv, cs.cload)
+		ratio := analytic / sim
+		if ratio < 0.85 || ratio > 1.25 {
+			t.Fatalf("case %+v: analytic/simulated = %.3f", cs, ratio)
+		}
+	}
+}
+
+func TestLowThresholdCrossesEarly(t *testing.T) {
+	// The signaling model's claim: a 10 %-of-final detection threshold is
+	// reached in a small fraction of the 50 % time — quantitatively, the
+	// dominant-pole model predicts t(10 %)/t(50 %) ≈ 0.09/0.38 ≈ 0.25.
+	l := line50nm(8e-3, 0, 0)
+	ts, err := l.StepResponse([]float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ts[0] < ts[1] && ts[1] < ts[2]) {
+		t.Fatalf("thresholds must cross in order: %v", ts)
+	}
+	ratio := ts[0] / ts[1]
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Fatalf("t(10%%)/t(50%%) = %.3f, dominant pole predicts ≈0.25", ratio)
+	}
+}
+
+func TestStepResponseErrors(t *testing.T) {
+	l := line50nm(1e-3, 100, 1e-15)
+	if _, err := l.StepResponse([]float64{0.5, 0.2}); err == nil {
+		t.Fatalf("non-ascending thresholds must error")
+	}
+	if _, err := l.StepResponse([]float64{1.5}); err == nil {
+		t.Fatalf("threshold ≥ 1 must error")
+	}
+	if _, err := l.StepResponse([]float64{0}); err == nil {
+		t.Fatalf("threshold ≤ 0 must error")
+	}
+}
+
+func TestConvergenceWithRefinement(t *testing.T) {
+	// Doubling the segment count moves the answer by little (the
+	// discretization is converged at 64 segments).
+	coarse := line50nm(5e-3, 500, 10e-15)
+	coarse.Segments = 32
+	fine := line50nm(5e-3, 500, 10e-15)
+	fine.Segments = 128
+	dc, err := coarse.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := fine.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dc-df)/df > 0.05 {
+		t.Fatalf("discretization not converged: %g vs %g", dc, df)
+	}
+}

@@ -1,0 +1,278 @@
+// Package signaling models the alternative global-signaling strategies of
+// the paper's §2.2: reduced-swing and differential drivers and receivers,
+// their energy, delay, noise behaviour, and routing-area cost, against the
+// full-swing repeated-CMOS baseline of internal/repeater. The Alpha 21264's
+// differential low-swing buses (swing limited to 10 % of Vdd) are the
+// reference design point.
+package signaling
+
+import (
+	"fmt"
+	"math"
+
+	"nanometer/internal/wire"
+)
+
+// Scheme identifies a global signaling strategy.
+type Scheme int
+
+const (
+	// FullSwingRepeated is the conventional repeated CMOS baseline.
+	FullSwingRepeated Scheme = iota
+	// LowSwing is single-ended reduced-swing signaling.
+	LowSwing
+	// DifferentialLowSwing is the Alpha-21264-style twisted/shielded
+	// differential pair with a sense-amplifier receiver.
+	DifferentialLowSwing
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case FullSwingRepeated:
+		return "full-swing repeated CMOS"
+	case LowSwing:
+		return "low-swing single-ended"
+	case DifferentialLowSwing:
+		return "differential low-swing"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Link describes one global signaling link to evaluate.
+type Link struct {
+	Scheme Scheme
+	// Line is the wire model (per conductor).
+	Line wire.Line
+	// LengthM is the route length.
+	LengthM float64
+	// Vdd is the full supply; SwingV the signal swing (ignored, treated as
+	// Vdd, for FullSwingRepeated).
+	Vdd    float64
+	SwingV float64
+	// DriverCurrentA is the driver's sink/source capability; it sets the
+	// swing-limited delay. Zero selects a default sized for ~1 mA.
+	DriverCurrentA float64
+	// ReceiverEnergyJ is the sense-amp energy per transition; zero selects
+	// a default of 15 fJ (differential) / 8 fJ (single-ended low swing).
+	ReceiverEnergyJ float64
+	// ReceiverStaticW is the receiver bias power; zero selects 20 µW for
+	// differential sense amps, 0 otherwise.
+	ReceiverStaticW float64
+}
+
+// Validate reports structurally invalid links.
+func (l *Link) Validate() error {
+	if l.LengthM <= 0 {
+		return fmt.Errorf("signaling: non-positive length %g", l.LengthM)
+	}
+	if l.Vdd <= 0 {
+		return fmt.Errorf("signaling: non-positive Vdd %g", l.Vdd)
+	}
+	if l.Scheme != FullSwingRepeated && (l.SwingV <= 0 || l.SwingV > l.Vdd) {
+		return fmt.Errorf("signaling: swing %g outside (0, Vdd=%g]", l.SwingV, l.Vdd)
+	}
+	return nil
+}
+
+func (l *Link) driverCurrent() float64 {
+	if l.DriverCurrentA > 0 {
+		return l.DriverCurrentA
+	}
+	return 1e-3
+}
+
+func (l *Link) receiverEnergy() float64 {
+	if l.ReceiverEnergyJ > 0 {
+		return l.ReceiverEnergyJ
+	}
+	switch l.Scheme {
+	case DifferentialLowSwing:
+		return 15e-15
+	case LowSwing:
+		return 8e-15
+	}
+	return 0
+}
+
+func (l *Link) receiverStatic() float64 {
+	if l.ReceiverStaticW > 0 {
+		return l.ReceiverStaticW
+	}
+	if l.Scheme == DifferentialLowSwing {
+		return 20e-6
+	}
+	return 0
+}
+
+func (l *Link) wires() float64 {
+	if l.Scheme == DifferentialLowSwing {
+		return 2
+	}
+	return 1
+}
+
+// EnergyPerTransition returns the energy drawn from the Vdd rail per signal
+// transition. Reduced-swing wires charged from the full rail draw
+// C·Vswing·Vdd per transition (charge C·Vswing delivered at potential Vdd);
+// differential signaling switches both conductors.
+func (l *Link) EnergyPerTransition() float64 {
+	c := l.Line.CPerM() * l.LengthM * l.wires()
+	swing := l.SwingV
+	if l.Scheme == FullSwingRepeated {
+		swing = l.Vdd
+	}
+	return c*swing*l.Vdd + l.receiverEnergy()
+}
+
+// Power returns average link power at the given toggle rate (transitions/s).
+func (l *Link) Power(toggleHz float64) float64 {
+	return l.EnergyPerTransition()*toggleHz + l.receiverStatic()
+}
+
+// Delay returns the signaling delay: the driver slew to develop the swing
+// across the wire capacitance, plus the distributed-RC diffusion time for
+// the far end to cross the detection threshold. A reduced-swing receiver
+// fires early on the diffusion curve — the dominant-pole far-end response
+// v(t) ≈ 1 − 1.131·exp(−2.467·t/RC) gives the familiar 0.38·RC at 50 % but
+// only ≈0.09·RC at 10 % — which is what makes unrepeated low-swing links
+// competitive on latency-tolerant routes.
+func (l *Link) Delay() float64 {
+	c := l.Line.CPerM() * l.LengthM * l.wires()
+	swing := l.SwingV
+	detect := 0.5 // full-swing CMOS switches near half rail
+	if l.Scheme != FullSwingRepeated {
+		// The sense amp resolves at half the (small) swing of the full-rail
+		// final value.
+		detect = l.SwingV / l.Vdd / 2
+	} else {
+		swing = l.Vdd
+	}
+	slew := c * swing / l.driverCurrent()
+	rc := l.Line.RPerM() * l.Line.CPerM() * l.LengthM * l.LengthM
+	diffusion := rc / 2.467 * math.Log(1.131/(1-detect))
+	return slew + diffusion
+}
+
+// PeakSupplyCurrent returns the worst-case instantaneous current the link
+// demands from the power grid — the di/dt driver the paper credits
+// low-swing signaling with taming. Modeled as the driver current for
+// reduced-swing schemes and the full-swing slew current for repeated CMOS.
+func (l *Link) PeakSupplyCurrent(edgeRateS float64) float64 {
+	if l.Scheme == FullSwingRepeated {
+		c := l.Line.CPerM() * l.LengthM
+		if edgeRateS <= 0 {
+			edgeRateS = 50e-12
+		}
+		return c * l.Vdd / edgeRateS
+	}
+	return l.driverCurrent()
+}
+
+// Noise analysis --------------------------------------------------------------
+
+// NoiseBudget summarizes coupling noise seen at the receiver.
+type NoiseBudget struct {
+	// CouplingNoiseV is the peak capacitive coupling noise from a
+	// same-swing aggressor on an adjacent track.
+	CouplingNoiseV float64
+	// MarginV is the available noise margin.
+	MarginV float64
+	// SNR is margin over noise; > 1 means the link closes.
+	SNR float64
+}
+
+// DifferentialRejection is the fraction of coupled noise that survives
+// common-mode rejection on a shielded differential pair (both conductors
+// see nearly the same aggressor).
+const DifferentialRejection = 0.15
+
+// ShieldAttenuation is the coupling attenuation a grounded shield wire
+// provides to a single-ended line.
+const ShieldAttenuation = 0.25
+
+// Noise evaluates the link against a full-swing aggressor on the adjacent
+// track, optionally shielded.
+func (l *Link) Noise(shielded bool) NoiseBudget {
+	kc := l.Line.CouplingFraction
+	aggressorSwing := l.Vdd // neighbors are full-swing CMOS in the worst case
+	noise := kc * aggressorSwing
+	if shielded {
+		noise *= ShieldAttenuation
+	}
+	var margin float64
+	switch l.Scheme {
+	case FullSwingRepeated:
+		margin = l.Vdd / 2 * 0.8 // static CMOS gate threshold margin
+	case LowSwing:
+		margin = l.SwingV / 2
+	case DifferentialLowSwing:
+		noise *= DifferentialRejection
+		margin = l.SwingV / 2
+	}
+	snr := math.Inf(1)
+	if noise > 0 {
+		snr = margin / noise
+	}
+	return NoiseBudget{CouplingNoiseV: noise, MarginV: margin, SNR: snr}
+}
+
+// RoutingTracks returns the number of routing tracks the link occupies,
+// including shields. Differential pairs reuse the shield between adjacent
+// buses, so the factor is below the naive 2× — the paper's observation that
+// "the increase may be less than the expected factor of 2".
+func (l *Link) RoutingTracks(shielded bool) float64 {
+	switch l.Scheme {
+	case DifferentialLowSwing:
+		if shielded {
+			return 2.5 // two signal tracks sharing shields with neighbors
+		}
+		return 2
+	default:
+		if shielded {
+			return 2 // signal + dedicated shield
+		}
+		return 1
+	}
+}
+
+// Comparison ------------------------------------------------------------------
+
+// Comparison contrasts an alternative scheme with the full-swing baseline on
+// the same route.
+type Comparison struct {
+	Baseline, Alternative Link
+	// EnergyRatio = alternative / baseline energy per transition.
+	EnergyRatio float64
+	// PeakCurrentRatio = alternative / baseline peak grid current.
+	PeakCurrentRatio float64
+	// TrackRatio = alternative / baseline routing tracks.
+	TrackRatio float64
+	// AltSNR and BaseSNR are the respective noise closures (shielded
+	// alternative vs unshielded baseline).
+	AltSNR, BaseSNR float64
+}
+
+// Compare evaluates scheme vs the full-swing baseline on the same wire and
+// length at swing·Vdd signal swing.
+func Compare(line wire.Line, lengthM, vdd, swingFrac float64, scheme Scheme) (Comparison, error) {
+	base := Link{Scheme: FullSwingRepeated, Line: line, LengthM: lengthM, Vdd: vdd}
+	alt := Link{Scheme: scheme, Line: line, LengthM: lengthM, Vdd: vdd, SwingV: swingFrac * vdd}
+	if err := base.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if err := alt.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	// Long global lines need shield tracks in the single-ended baseline
+	// too, which is why the differential pair costs less than the naive
+	// 2× in routing (the paper's §2.2 observation).
+	return Comparison{
+		Baseline:         base,
+		Alternative:      alt,
+		EnergyRatio:      alt.EnergyPerTransition() / base.EnergyPerTransition(),
+		PeakCurrentRatio: alt.PeakSupplyCurrent(0) / base.PeakSupplyCurrent(0),
+		TrackRatio:       alt.RoutingTracks(true) / base.RoutingTracks(true),
+		AltSNR:           alt.Noise(true).SNR,
+		BaseSNR:          base.Noise(false).SNR,
+	}, nil
+}

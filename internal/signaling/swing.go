@@ -1,0 +1,90 @@
+package signaling
+
+import (
+	"fmt"
+
+	"nanometer/internal/mathx"
+	"nanometer/internal/wire"
+)
+
+// The paper closes its §2.2 low-swing discussion with "further study is
+// necessary to determine worst-case noise behavior and tolerable voltage
+// swings". This file is that study: given the coupling environment, find
+// the minimum swing that still closes noise with margin, and the energy
+// that optimal swing costs.
+
+// SwingStudy reports the tolerable-swing analysis for one scheme on one
+// route.
+type SwingStudy struct {
+	Scheme Scheme
+	// Shielded records the assumed shielding.
+	Shielded bool
+	// Feasible reports whether any swing up to the full rail closes the
+	// SNR target; when false, MinSwingFrac and EnergyRatioAtMin are zero.
+	Feasible bool
+	// MinSwingFrac is the smallest swing (fraction of Vdd) with
+	// SNR ≥ RequiredSNR against a full-swing aggressor.
+	MinSwingFrac float64
+	// RequiredSNR is the margin target used.
+	RequiredSNR float64
+	// EnergyRatioAtMin is the energy of the link at the minimum swing,
+	// relative to full-swing signaling on the same route.
+	EnergyRatioAtMin float64
+	// AlphaSwingOK reports whether the Alpha-21264-style 10 % swing
+	// clears the requirement in this environment.
+	AlphaSwingOK bool
+}
+
+// MinTolerableSwing returns the smallest swing fraction at which the link
+// closes noise with the given SNR against a full-swing neighbor. Noise is
+// swing-independent (it is set by the aggressor), so the requirement is
+// linear in swing: swing/2 ≥ snr·noise.
+func MinTolerableSwing(line wire.Line, vdd float64, scheme Scheme, shielded bool, requiredSNR float64) (float64, error) {
+	if requiredSNR <= 0 {
+		return 0, fmt.Errorf("signaling: non-positive SNR target %g", requiredSNR)
+	}
+	if scheme == FullSwingRepeated {
+		return 1, nil
+	}
+	probe := Link{Scheme: scheme, Line: line, LengthM: 1e-3, Vdd: vdd, SwingV: 0.5 * vdd}
+	noise := probe.Noise(shielded).CouplingNoiseV
+	minSwing := 2 * requiredSNR * noise / vdd
+	if minSwing > 1 {
+		return 0, fmt.Errorf("signaling: %v cannot close SNR %g even at full swing (noise %.3g V)",
+			scheme, requiredSNR, noise)
+	}
+	return mathx.Clamp(minSwing, 0.01, 1), nil
+}
+
+// StudySwing runs the tolerable-swing analysis for a scheme on a route. An
+// environment where no swing closes the target is reported with Feasible =
+// false rather than an error — that outcome ("shielding may be insufficient")
+// is itself a finding of the study.
+func StudySwing(line wire.Line, lengthM, vdd float64, scheme Scheme, shielded bool, requiredSNR float64) (SwingStudy, error) {
+	if requiredSNR <= 0 {
+		return SwingStudy{}, fmt.Errorf("signaling: non-positive SNR target %g", requiredSNR)
+	}
+	st := SwingStudy{
+		Scheme:      scheme,
+		Shielded:    shielded,
+		RequiredSNR: requiredSNR,
+	}
+	alpha := Link{Scheme: scheme, Line: line, LengthM: lengthM, Vdd: vdd, SwingV: 0.10 * vdd}
+	if scheme == FullSwingRepeated {
+		alpha.SwingV = 0
+	}
+	st.AlphaSwingOK = alpha.Noise(shielded).SNR >= requiredSNR
+	minFrac, err := MinTolerableSwing(line, vdd, scheme, shielded, requiredSNR)
+	if err != nil {
+		return st, nil // infeasible environment: Feasible stays false
+	}
+	st.Feasible = true
+	st.MinSwingFrac = minFrac
+	base := Link{Scheme: FullSwingRepeated, Line: line, LengthM: lengthM, Vdd: vdd}
+	at := Link{Scheme: scheme, Line: line, LengthM: lengthM, Vdd: vdd, SwingV: minFrac * vdd}
+	if err := at.Validate(); err != nil {
+		return SwingStudy{}, err
+	}
+	st.EnergyRatioAtMin = at.EnergyPerTransition() / base.EnergyPerTransition()
+	return st, nil
+}

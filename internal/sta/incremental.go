@@ -1,0 +1,143 @@
+package sta
+
+import (
+	"container/heap"
+
+	"nanometer/internal/netlist"
+)
+
+// Incremental is an incremental timing view of a circuit that supports
+// trial edits with rollback — the engine under the CVS, dual-Vth, and
+// re-sizing greedy loops. The caller mutates gate fields (Vdd/Vth class,
+// size), then calls TryUpdate with the set of gates whose *delay* may have
+// changed; the engine repropagates arrivals through the affected cone and
+// reports whether the period still holds. Rejected edits are rolled back by
+// the returned restore function (the caller un-mutates its own fields).
+type Incremental struct {
+	c *netlist.Circuit
+	// ArrivalS and DelayS mirror the Result fields and stay current.
+	ArrivalS, DelayS []float64
+	// PeriodS is the constraint.
+	PeriodS float64
+
+	eps float64
+}
+
+// NewIncremental analyzes the circuit and returns an incremental view. The
+// circuit must currently meet its period.
+func NewIncremental(c *netlist.Circuit) *Incremental {
+	r := Analyze(c)
+	return &Incremental{
+		c:        c,
+		ArrivalS: r.ArrivalS,
+		DelayS:   r.DelayS,
+		PeriodS:  r.PeriodS,
+		eps:      r.PeriodS * 1e-12,
+	}
+}
+
+// Slack returns gate i's slack against the period using a fresh backward
+// pass. It is O(n); optimization loops should prefer Result.SlackS
+// snapshots and TryUpdate for exactness.
+func (inc *Incremental) Slack(i int) float64 {
+	r := Analyze(inc.c)
+	return r.SlackS[i]
+}
+
+// intHeap is a min-heap of gate IDs (topological order).
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TryUpdate repropagates timing after the caller mutated the given gates.
+// It returns ok = true when every primary output still meets the period; in
+// that case the edit is committed. When ok = false the engine has already
+// restored its arrays and the caller must revert its own field mutations.
+func (inc *Incremental) TryUpdate(changed ...int) bool {
+	oldArr := map[int]float64{}
+	oldDelay := map[int]float64{}
+
+	h := &intHeap{}
+	inHeap := map[int]bool{}
+	push := func(i int) {
+		if !inHeap[i] {
+			inHeap[i] = true
+			heap.Push(h, i)
+		}
+	}
+	for _, i := range changed {
+		// The changed list may contain duplicates (e.g. a driver feeding
+		// two pins of the same gate); only the first sighting holds the
+		// pre-trial delay.
+		if _, seen := oldDelay[i]; !seen {
+			oldDelay[i] = inc.DelayS[i]
+		}
+		inc.DelayS[i] = inc.c.GateDelay(&inc.c.Gates[i])
+		push(i)
+	}
+	ok := true
+	for h.Len() > 0 {
+		i := heap.Pop(h).(int)
+		inHeap[i] = false
+		g := &inc.c.Gates[i]
+		in := 0.0
+		for _, ref := range g.Inputs {
+			if _, isPI := netlist.IsPI(ref); isPI {
+				continue
+			}
+			if a := inc.ArrivalS[ref]; a > in {
+				in = a
+			}
+		}
+		newArr := in + inc.DelayS[i]
+		if newArr == inc.ArrivalS[i] {
+			continue
+		}
+		if _, saved := oldArr[i]; !saved {
+			oldArr[i] = inc.ArrivalS[i]
+		}
+		inc.ArrivalS[i] = newArr
+		if g.IsPO && newArr > inc.PeriodS+inc.eps {
+			ok = false
+			break
+		}
+		for _, fo := range g.Fanouts {
+			push(fo)
+		}
+	}
+	if !ok {
+		for i, a := range oldArr {
+			inc.ArrivalS[i] = a
+		}
+		for i, d := range oldDelay {
+			inc.DelayS[i] = d
+		}
+	}
+	return ok
+}
+
+// WorstArrival returns the worst PO arrival currently recorded.
+func (inc *Incremental) WorstArrival() float64 {
+	worst := 0.0
+	for i := range inc.c.Gates {
+		if inc.c.Gates[i].IsPO && inc.ArrivalS[i] > worst {
+			worst = inc.ArrivalS[i]
+		}
+	}
+	return worst
+}
+
+// Met reports whether the tracked state meets the period.
+func (inc *Incremental) Met() bool {
+	return inc.WorstArrival() <= inc.PeriodS+inc.eps
+}

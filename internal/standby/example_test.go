@@ -1,0 +1,23 @@
+package standby_test
+
+import (
+	"fmt"
+
+	"nanometer/internal/standby"
+)
+
+// The §3.2.1 scalability verdict: reverse body bias loses its lever in
+// scaled devices while the sleep transistor holds.
+func ExampleEvaluate() {
+	body35, err := standby.Evaluate(standby.ReverseBodyBias, 35, 1e-3)
+	if err != nil {
+		panic(err)
+	}
+	mtcmos35, err := standby.Evaluate(standby.MTCMOSGating, 35, 1e-3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("body bias scales: %v; MTCMOS scales: %v\n", body35.Scalable, mtcmos35.Scalable)
+	// Output:
+	// body bias scales: false; MTCMOS scales: true
+}

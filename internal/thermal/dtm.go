@@ -1,0 +1,139 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller is a dynamic-thermal-management policy: given the sensor state
+// each control interval, it returns the frequency and voltage derating to
+// apply for the next interval (1.0 = full speed / nominal supply).
+type Controller interface {
+	// Act returns (freqScale, vddScale) for the next interval.
+	Act(overTemp bool) (freqScale, vddScale float64)
+	// Name describes the policy.
+	Name() string
+}
+
+// NoDTM runs flat out; the package must absorb the theoretical worst case.
+type NoDTM struct{}
+
+func (NoDTM) Act(bool) (float64, float64) { return 1, 1 }
+func (NoDTM) Name() string                { return "no DTM" }
+
+// ClockThrottle is the Pentium-4-style thermal monitor response: when the
+// sensor trips, the internal clock runs at DutyCycle effective rate until
+// the sensor releases.
+type ClockThrottle struct {
+	// DutyCycle is the effective clock fraction while throttled (Intel's
+	// implementation gated the clock at ~50 %).
+	DutyCycle float64
+}
+
+func (c ClockThrottle) Act(overTemp bool) (float64, float64) {
+	if overTemp {
+		return c.DutyCycle, 1
+	}
+	return 1, 1
+}
+func (c ClockThrottle) Name() string {
+	return fmt.Sprintf("clock throttle (duty %.0f%%)", c.DutyCycle*100)
+}
+
+// DVS is the Transmeta-style response: when the sensor trips, both frequency
+// and supply are stepped down, cutting power ≈cubically; they recover when
+// the sensor releases.
+type DVS struct {
+	// FreqScale and VddScale are the throttled operating point.
+	FreqScale, VddScale float64
+}
+
+func (d DVS) Act(overTemp bool) (float64, float64) {
+	if overTemp {
+		return d.FreqScale, d.VddScale
+	}
+	return 1, 1
+}
+func (d DVS) Name() string {
+	return fmt.Sprintf("DVS (f×%.2f, Vdd×%.2f)", d.FreqScale, d.VddScale)
+}
+
+// SimResult summarizes a DTM simulation run.
+type SimResult struct {
+	// PeakTempC and PeakPowerW are the maxima observed.
+	PeakTempC, PeakPowerW float64
+	// MeanPowerW is the time-averaged dissipation.
+	MeanPowerW float64
+	// ThrottledFraction is the fraction of intervals spent derated.
+	ThrottledFraction float64
+	// Throughput is the delivered work relative to an unthrottled run
+	// (frequency-proportional).
+	Throughput float64
+	// Steps is the number of control intervals simulated.
+	Steps int
+}
+
+// Simulate runs a power trace (demandW per control interval of dt seconds)
+// through the plant under the controller. demand is the power the workload
+// would dissipate at full frequency and nominal Vdd; the controller's
+// derating scales it by freqScale·vddScale² (dynamic-power model).
+func Simulate(plant *Plant, sensor *Sensor, ctrl Controller, demandW []float64, dt float64) SimResult {
+	var res SimResult
+	res.Steps = len(demandW)
+	var workDone, workIdeal float64
+	var throttled int
+	for _, d := range demandW {
+		over := sensor.Read(plant.TempC)
+		fs, vs := ctrl.Act(over)
+		p := d * fs * vs * vs
+		plant.Step(p, dt)
+		if plant.TempC > res.PeakTempC {
+			res.PeakTempC = plant.TempC
+		}
+		if p > res.PeakPowerW {
+			res.PeakPowerW = p
+		}
+		res.MeanPowerW += p
+		workDone += fs
+		workIdeal++
+		if fs < 1 || vs < 1 {
+			throttled++
+		}
+	}
+	if res.Steps > 0 {
+		res.MeanPowerW /= float64(res.Steps)
+		res.ThrottledFraction = float64(throttled) / float64(res.Steps)
+	}
+	if workIdeal > 0 {
+		res.Throughput = workDone / workIdeal
+	}
+	return res
+}
+
+// EffectiveWorstCase returns the sustained power level a package designed
+// with DTM must handle: the highest mean power any trace produces under the
+// controller, with the junction held at tMaxC. It searches the supplied
+// traces and returns the worst.
+func EffectiveWorstCase(pkg Package, cth float64, sensorTrip float64, ctrl Controller, traces [][]float64, dt float64) float64 {
+	worst := 0.0
+	for _, tr := range traces {
+		plant := NewPlant(pkg, cth)
+		sensor := &Sensor{TripC: sensorTrip, HysteresisC: 2}
+		r := Simulate(plant, sensor, ctrl, tr, dt)
+		if r.MeanPowerW > worst {
+			worst = r.MeanPowerW
+		}
+	}
+	return worst
+}
+
+// ThetaJAHeadroom returns the relative θja relief from designing the package
+// for pEffective instead of pTheoretical at the same junction limit:
+// θja scales as 1/P, so the relief is pTheoretical/pEffective − 1 (the
+// paper's 25 % power reduction → 33 % higher allowable θja).
+func ThetaJAHeadroom(pTheoretical, pEffective float64) float64 {
+	if pEffective <= 0 {
+		return math.Inf(1)
+	}
+	return pTheoretical/pEffective - 1
+}

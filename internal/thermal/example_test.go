@@ -1,0 +1,41 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"nanometer/internal/thermal"
+)
+
+// Eq. 1 of the paper: a 0.8 °C/W package holding the junction at 85 °C over
+// a 45 °C ambient can dissipate 50 W.
+func ExamplePackage() {
+	pkg := thermal.Package{ThetaJA: 0.8, AmbientC: 45}
+	fmt.Printf("Tchip at 50 W: %.0f °C; max power at 85 °C: %.0f W\n",
+		pkg.JunctionTempC(50), pkg.MaxPowerW(85))
+	// Output:
+	// Tchip at 50 W: 85 °C; max power at 85 °C: 50 W
+}
+
+// The cited cooling-cost step: 65 W rides forced air, 75 W needs heat
+// pipes at roughly 3× the cost (§2.1).
+func ExampleSelectCooling() {
+	c65, _ := thermal.SelectCooling(65, 100, 45)
+	c75, _ := thermal.SelectCooling(75, 100, 45)
+	fmt.Printf("65 W: %v; 75 W: %v (cost ×%.1f)\n", c65.Class, c75.Class, c75.CostUSD/c65.CostUSD)
+	// Output:
+	// 65 W: forced air; 75 W: heat pipe (cost ×3.0)
+}
+
+// A Pentium-4-style thermal monitor: the sensor trips at the limit, the
+// throttle halves the effective clock, and the junction holds.
+func ExampleSimulate() {
+	pkg := thermal.Package{ThetaJA: 0.31, AmbientC: 45} // sized for 75 % of worst case
+	plant := thermal.NewPlant(pkg, 40)
+	sensor := &thermal.Sensor{TripC: 84, HysteresisC: 2}
+	virus := thermal.PowerVirus(174, 20000)
+	res := thermal.Simulate(plant, sensor, thermal.ClockThrottle{DutyCycle: 0.5}, virus, 0.01)
+	fmt.Printf("junction held: %v, throughput above half: %v\n",
+		res.PeakTempC < 85.5, res.Throughput > 0.5)
+	// Output:
+	// junction held: true, throughput above half: true
+}

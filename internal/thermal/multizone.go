@@ -1,0 +1,130 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultiZonePlant extends the lumped plant to the paper's hot-spot picture
+// (§4 footnote: half the die is memory at ~1/10 logic density, some logic
+// at twice the average): n thermal zones, each with its own capacitance and
+// power share, coupled laterally through the spreader and vertically to
+// ambient through per-zone slices of θja. Sensor-placement analysis falls
+// out: a sensor in the wrong zone underestimates the hot spot.
+type MultiZonePlant struct {
+	// ZoneTempC are the junction temperatures per zone.
+	ZoneTempC []float64
+	// CthJPerC are the per-zone thermal capacitances.
+	CthJPerC []float64
+	// ThetaZoneToAmb are per-zone vertical resistances (°C/W); the
+	// parallel combination reproduces the package θja.
+	ThetaZoneToAmb []float64
+	// ThetaLateral couples adjacent zones (°C/W).
+	ThetaLateral float64
+	// AmbientC is the ambient temperature.
+	AmbientC float64
+}
+
+// NewMultiZonePlant splits a package into n zones by area share. areaShare
+// must sum to ≈1. Each zone's vertical resistance is θja scaled inversely
+// to its area; lateral coupling defaults to 2×θja per zone pair — copper
+// spreaders equalize centimeters of die to within a few degrees, which is
+// what keeps real hot spots bounded.
+func NewMultiZonePlant(pkg Package, cthTotal float64, areaShare []float64) (*MultiZonePlant, error) {
+	n := len(areaShare)
+	if n < 2 {
+		return nil, fmt.Errorf("thermal: need ≥2 zones, got %d", n)
+	}
+	sum := 0.0
+	for _, a := range areaShare {
+		if a <= 0 {
+			return nil, fmt.Errorf("thermal: non-positive area share %g", a)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 0.02 {
+		return nil, fmt.Errorf("thermal: area shares sum to %g, want 1", sum)
+	}
+	p := &MultiZonePlant{
+		ZoneTempC:      make([]float64, n),
+		CthJPerC:       make([]float64, n),
+		ThetaZoneToAmb: make([]float64, n),
+		ThetaLateral:   2 * pkg.ThetaJA,
+		AmbientC:       pkg.AmbientC,
+	}
+	for i, a := range areaShare {
+		p.ZoneTempC[i] = pkg.AmbientC
+		p.CthJPerC[i] = cthTotal * a
+		p.ThetaZoneToAmb[i] = pkg.ThetaJA / a
+	}
+	return p, nil
+}
+
+// Step advances the plant by dt seconds with per-zone power powerW
+// (explicit Euler with internal sub-stepping for stability).
+func (p *MultiZonePlant) Step(powerW []float64, dt float64) error {
+	n := len(p.ZoneTempC)
+	if len(powerW) != n {
+		return fmt.Errorf("thermal: %d zone powers for %d zones", len(powerW), n)
+	}
+	// Sub-step at a tenth of the fastest time constant.
+	minTau := math.Inf(1)
+	for i := 0; i < n; i++ {
+		tau := p.CthJPerC[i] * 1 / (1/p.ThetaZoneToAmb[i] + 2/p.ThetaLateral)
+		minTau = math.Min(minTau, tau)
+	}
+	steps := int(dt/(minTau/10)) + 1
+	h := dt / float64(steps)
+	for s := 0; s < steps; s++ {
+		dT := make([]float64, n)
+		for i := 0; i < n; i++ {
+			q := powerW[i] - (p.ZoneTempC[i]-p.AmbientC)/p.ThetaZoneToAmb[i]
+			if i > 0 {
+				q -= (p.ZoneTempC[i] - p.ZoneTempC[i-1]) / p.ThetaLateral
+			}
+			if i < n-1 {
+				q -= (p.ZoneTempC[i] - p.ZoneTempC[i+1]) / p.ThetaLateral
+			}
+			dT[i] = q * h / p.CthJPerC[i]
+		}
+		for i := 0; i < n; i++ {
+			p.ZoneTempC[i] += dT[i]
+		}
+	}
+	return nil
+}
+
+// MaxTempC returns the hottest zone.
+func (p *MultiZonePlant) MaxTempC() float64 {
+	max := math.Inf(-1)
+	for _, t := range p.ZoneTempC {
+		max = math.Max(max, t)
+	}
+	return max
+}
+
+// SensorError returns how far a sensor placed in the given zone reads below
+// the true hot spot — the placement penalty a thermal-monitor designer must
+// budget as a trip-point offset.
+func (p *MultiZonePlant) SensorError(zone int) float64 {
+	return p.MaxTempC() - p.ZoneTempC[zone]
+}
+
+// HotspotSplit returns the §4-footnote power split over 3 zones for a chip:
+// half the area is memory at ~1/10 logic density, and a hot logic zone runs
+// at twice the average logic density. Returns (areaShare, powerShare).
+func HotspotSplit() (areaShare, powerShare []float64) {
+	// Zones: memory (50 % area), normal logic (37.5 %), hot logic (12.5 %).
+	areaShare = []float64{0.50, 0.375, 0.125}
+	// Densities: memory 0.1×logic, hot 2×logic. Normalize power.
+	d := []float64{0.1, 1, 2}
+	total := 0.0
+	for i := range areaShare {
+		total += areaShare[i] * d[i]
+	}
+	powerShare = make([]float64, 3)
+	for i := range areaShare {
+		powerShare[i] = areaShare[i] * d[i] / total
+	}
+	return areaShare, powerShare
+}

@@ -1,0 +1,134 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func hotspotPlant(t *testing.T) (*MultiZonePlant, []float64, float64) {
+	t.Helper()
+	area, powerShare := HotspotSplit()
+	pkg := Package{ThetaJA: 0.25, AmbientC: 45}
+	p, err := NewMultiZonePlant(pkg, 40, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 174.0
+	powers := make([]float64, len(powerShare))
+	for i, s := range powerShare {
+		powers[i] = s * total
+	}
+	return p, powers, total
+}
+
+func TestHotspotSplit(t *testing.T) {
+	area, power := HotspotSplit()
+	var aSum, pSum float64
+	for i := range area {
+		aSum += area[i]
+		pSum += power[i]
+	}
+	if math.Abs(aSum-1) > 1e-12 || math.Abs(pSum-1) > 1e-12 {
+		t.Fatalf("shares must sum to 1: %g, %g", aSum, pSum)
+	}
+	// The hot zone's density approaches the paper's footnote-7 factor of 4
+	// over uniform (its exact arithmetic with 1/10-density memory on half
+	// the die and 2×-density hot logic gives ≈3; the paper rounds up).
+	hotDensity := power[2] / area[2]
+	if hotDensity < 2.5 || hotDensity > 4.5 {
+		t.Fatalf("hot-zone density = %.2f× uniform, paper says ≈4×", hotDensity)
+	}
+	// Memory density ~0.4× uniform (1/10 of logic).
+	if d := power[0] / area[0]; d > 0.5 {
+		t.Fatalf("memory density = %.2f× uniform, expected well below 1", d)
+	}
+}
+
+func TestMultiZoneSteadyState(t *testing.T) {
+	p, powers, total := hotspotPlant(t)
+	for i := 0; i < 40000; i++ {
+		if err := p.Step(powers, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The hot zone must exceed the uniform-model junction temperature, and
+	// the memory zone sit below it.
+	uniform := Package{ThetaJA: 0.25, AmbientC: 45}.JunctionTempC(total)
+	if p.ZoneTempC[2] <= uniform {
+		t.Fatalf("hot zone %.1f °C should exceed the uniform estimate %.1f °C", p.ZoneTempC[2], uniform)
+	}
+	if p.ZoneTempC[0] >= uniform {
+		t.Fatalf("memory zone %.1f °C should undercut the uniform estimate %.1f °C", p.ZoneTempC[0], uniform)
+	}
+	if p.MaxTempC() != p.ZoneTempC[2] {
+		t.Fatalf("the hot-logic zone must be the maximum")
+	}
+	// Lateral coupling keeps the spread finite: zones within ~40 °C.
+	if spread := p.ZoneTempC[2] - p.ZoneTempC[0]; spread <= 0 || spread > 40 {
+		t.Fatalf("zone spread %.1f °C implausible", spread)
+	}
+}
+
+func TestSensorPlacementError(t *testing.T) {
+	p, powers, _ := hotspotPlant(t)
+	for i := 0; i < 40000; i++ {
+		if err := p.Step(powers, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A sensor in the memory zone underestimates the hot spot badly; one
+	// in the hot zone reads true.
+	if p.SensorError(2) != 0 {
+		t.Fatalf("hot-zone sensor must read the maximum")
+	}
+	if p.SensorError(0) < 3 {
+		t.Fatalf("memory-zone sensor error %.1f °C — placement must matter", p.SensorError(0))
+	}
+	if p.SensorError(0) <= p.SensorError(1) {
+		t.Fatalf("the further the sensor from the hot spot, the larger the error")
+	}
+}
+
+func TestMultiZoneConservesAgainstLumped(t *testing.T) {
+	// With uniform power density the multi-zone plant converges to the
+	// lumped model's junction temperature in every zone.
+	area := []float64{0.5, 0.3, 0.2}
+	pkg := Package{ThetaJA: 0.3, AmbientC: 45}
+	p, err := NewMultiZonePlant(pkg, 40, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100.0
+	powers := []float64{50, 30, 20} // proportional to area = uniform density
+	for i := 0; i < 40000; i++ {
+		if err := p.Step(powers, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := pkg.JunctionTempC(total)
+	for i, tz := range p.ZoneTempC {
+		if math.Abs(tz-want) > 0.5 {
+			t.Fatalf("uniform zone %d = %.2f °C, lumped model says %.2f °C", i, tz, want)
+		}
+	}
+}
+
+func TestMultiZoneErrors(t *testing.T) {
+	pkg := Package{ThetaJA: 0.3, AmbientC: 45}
+	if _, err := NewMultiZonePlant(pkg, 40, []float64{1}); err == nil {
+		t.Fatalf("single zone must error")
+	}
+	if _, err := NewMultiZonePlant(pkg, 40, []float64{0.5, 0}); err == nil {
+		t.Fatalf("zero share must error")
+	}
+	if _, err := NewMultiZonePlant(pkg, 40, []float64{0.5, 0.2}); err == nil {
+		t.Fatalf("shares not summing to 1 must error")
+	}
+	p, err := NewMultiZonePlant(pkg, 40, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Step([]float64{1}, 0.01); err == nil {
+		t.Fatalf("power-count mismatch must error")
+	}
+}

@@ -1,0 +1,84 @@
+package thermal
+
+import "math/rand"
+
+// WorkloadParams shapes a synthetic MPU power trace. Powers are at full
+// frequency and nominal supply; the DTM controller derates them.
+type WorkloadParams struct {
+	// TheoreticalMaxW is the power-virus (synthetic worst case) level.
+	TheoreticalMaxW float64
+	// TypicalFraction is the mean power of real applications relative to
+	// the theoretical maximum (the paper's ≈75 % for "power-hungry
+	// applications"; ordinary code is lower still).
+	TypicalFraction float64
+	// BurstFraction is the fraction of intervals spent in bursts at
+	// BurstLevel×TheoreticalMaxW.
+	BurstFraction float64
+	BurstLevel    float64
+	// NoiseFraction is the relative amplitude of interval-to-interval
+	// variation.
+	NoiseFraction float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// DefaultWorkload returns parameters producing a power-hungry-application
+// trace whose effective demand is ≈75 % of the theoretical worst case.
+func DefaultWorkload(theoreticalMaxW float64) WorkloadParams {
+	return WorkloadParams{
+		TheoreticalMaxW: theoreticalMaxW,
+		TypicalFraction: 0.70,
+		BurstFraction:   0.15,
+		BurstLevel:      0.95,
+		NoiseFraction:   0.08,
+		Seed:            1,
+	}
+}
+
+// Generate produces a trace of n control intervals.
+func (p WorkloadParams) Generate(n int) []float64 {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]float64, n)
+	base := p.TypicalFraction * p.TheoreticalMaxW
+	inBurst := false
+	burstLeft := 0
+	for i := range out {
+		if burstLeft == 0 {
+			// Burst lengths geometric with mean 20 intervals; spacing set
+			// so the duty cycle matches BurstFraction.
+			if inBurst {
+				inBurst = false
+			}
+			if rng.Float64() < p.BurstFraction/20 {
+				inBurst = true
+				burstLeft = 1 + rng.Intn(39)
+			}
+		} else {
+			burstLeft--
+		}
+		level := base
+		if inBurst {
+			level = p.BurstLevel * p.TheoreticalMaxW
+		}
+		level *= 1 + p.NoiseFraction*(2*rng.Float64()-1)
+		if level > p.TheoreticalMaxW {
+			level = p.TheoreticalMaxW
+		}
+		if level < 0 {
+			level = 0
+		}
+		out[i] = level
+	}
+	return out
+}
+
+// PowerVirus returns a flat trace at the theoretical worst case — the
+// synthetic input sequence "not realized in practice" that packages would
+// otherwise have to be designed for.
+func PowerVirus(theoreticalMaxW float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = theoreticalMaxW
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestThermalVoltage(t *testing.T) {
+	got := ThermalVoltage(300)
+	if !ApproxEqual(got, 0.02585, 1e-3, 0) {
+		t.Fatalf("kT/q at 300 K = %g, want ≈25.85 mV", got)
+	}
+	if ThermalVoltage(600) <= got {
+		t.Fatalf("thermal voltage must increase with temperature")
+	}
+}
+
+func TestTemperatureConversions(t *testing.T) {
+	if got := CelsiusToKelvin(85); got != 358.15 {
+		t.Fatalf("85 °C = %g K, want 358.15", got)
+	}
+	if got := KelvinToCelsius(300); !ApproxEqual(got, 26.85, 1e-9, 0) {
+		t.Fatalf("300 K = %g °C, want 26.85", got)
+	}
+	// Round trip property.
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return ApproxEqual(KelvinToCelsius(CelsiusToKelvin(c)), c, 1e-12, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOxideCapacitance(t *testing.T) {
+	// 2 nm SiO2 ≈ 1.73 µF/cm² = 1.73e-2 F/m².
+	got := OxideCapacitance(2e-9)
+	if !ApproxEqual(got, 1.726e-2, 5e-3, 0) {
+		t.Fatalf("Cox(2 nm) = %g F/m², want ≈1.73e-2", got)
+	}
+	// Thinner oxide, larger capacitance.
+	if OxideCapacitance(1e-9) <= got {
+		t.Fatalf("capacitance must increase as the oxide thins")
+	}
+}
+
+func TestOxideCapacitancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for non-positive thickness")
+		}
+	}()
+	OxideCapacitance(0)
+}
+
+func TestCurrentConversions(t *testing.T) {
+	// 1 µA/µm is numerically 1 A/m.
+	if got := AmpsPerMeterFromUAPerUM(750); got != 750 {
+		t.Fatalf("750 µA/µm = %g A/m, want 750", got)
+	}
+	if got := AmpsPerMeterFromNAPerUM(456); !ApproxEqual(got, 0.456, 1e-12, 0) {
+		t.Fatalf("456 nA/µm = %g A/m, want 0.456", got)
+	}
+	if got := NAPerUMFromAmpsPerMeter(0.456); !ApproxEqual(got, 456, 1e-12, 0) {
+		t.Fatalf("0.456 A/m = %g nA/µm, want 456", got)
+	}
+	if got := OhmMetersFromOhmMicrons(190); !ApproxEqual(got, 190e-6, 1e-12, 0) {
+		t.Fatalf("190 Ω·µm = %g Ω·m", got)
+	}
+}
+
+func TestEngineering(t *testing.T) {
+	cases := []struct {
+		v      float64
+		unit   string
+		digits int
+		want   string
+	}{
+		{3.2e-9, "s", 3, "3.20 ns"},
+		{0.0456, "A", 3, "45.6 mA"},
+		{1234, "W", 3, "1.23 kW"},
+		{2.5e-15, "F", 2, "2.5 fF"},
+		{0, "V", 2, "0.0 V"},
+		{1e15, "Hz", 3, "1000 THz"}, // clamps at tera
+	}
+	for _, c := range cases {
+		if got := Engineering(c.v, c.unit, c.digits); got != c.want {
+			t.Errorf("Engineering(%g, %q, %d) = %q, want %q", c.v, c.unit, c.digits, got, c.want)
+		}
+	}
+	if got := Engineering(math.NaN(), "x", 3); !strings.Contains(got, "NaN") {
+		t.Errorf("NaN formatting = %q", got)
+	}
+	if got := Engineering(-4.7e-6, "A", 3); got != "-4.70 µA" {
+		t.Errorf("negative formatting = %q", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.456); got != "45.6%" {
+		t.Fatalf("Percent(0.456) = %q", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(100, 101, 0.02, 0) {
+		t.Fatalf("1%% apart should match at 2%% tolerance")
+	}
+	if ApproxEqual(100, 103, 0.02, 0) {
+		t.Fatalf("3%% apart should not match at 2%% tolerance")
+	}
+	if !ApproxEqual(0, 1e-12, 0, 1e-9) {
+		t.Fatalf("absolute tolerance near zero should match")
+	}
+}
+
+func TestRoomTemperature(t *testing.T) {
+	if RoomTemperature != 300 {
+		t.Fatalf("the paper's leakage convention is 300 K, got %g", RoomTemperature)
+	}
+}

@@ -1,0 +1,87 @@
+package wire
+
+import "fmt"
+
+// Crosstalk modeling: neighbor switching modulates the effective coupling
+// capacitance (the Miller effect) and injects noise — the §2.2 concern that
+// drives shielding and differential signaling on long lines.
+
+// AggressorActivity describes what the neighbors of a victim line do during
+// its transition.
+type AggressorActivity int
+
+const (
+	// AggressorsQuiet holds neighbors static: coupling at its nominal value.
+	AggressorsQuiet AggressorActivity = iota
+	// AggressorsSameDirection switches neighbors with the victim: the
+	// coupling capacitance is Miller-cancelled.
+	AggressorsSameDirection
+	// AggressorsOpposite switches neighbors against the victim: coupling
+	// doubles.
+	AggressorsOpposite
+)
+
+func (a AggressorActivity) String() string {
+	switch a {
+	case AggressorsQuiet:
+		return "quiet"
+	case AggressorsSameDirection:
+		return "same-direction"
+	case AggressorsOpposite:
+		return "opposite"
+	}
+	return fmt.Sprintf("AggressorActivity(%d)", int(a))
+}
+
+// millerFactor maps activity to the coupling multiplier.
+func millerFactor(a AggressorActivity) float64 {
+	switch a {
+	case AggressorsSameDirection:
+		return 0
+	case AggressorsOpposite:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// CEffectivePerM returns the switching-effective capacitance per meter under
+// the given aggressor activity: ground component plus Miller-scaled
+// coupling. Shielded lines replace neighbor coupling with static shield
+// capacitance (Miller factor pinned at 1).
+func (l Line) CEffectivePerM(a AggressorActivity, shielded bool) float64 {
+	ground := l.CTotalFPerM * (1 - l.CouplingFraction)
+	coupling := l.CTotalFPerM * l.CouplingFraction
+	if shielded {
+		return ground + coupling
+	}
+	return ground + coupling*millerFactor(a)
+}
+
+// DynamicDelayRange returns the best- and worst-case driven delays of the
+// line across aggressor activity — the crosstalk-induced timing uncertainty
+// that shielding eliminates.
+func (l Line) DynamicDelayRange(lengthM, rdrv, cload float64, shielded bool) (best, worst float64) {
+	delayWith := func(a AggressorActivity) float64 {
+		eff := l
+		eff.CTotalFPerM = l.CEffectivePerM(a, shielded)
+		eff.CouplingFraction = 0
+		return eff.DrivenDelay(lengthM, rdrv, cload)
+	}
+	if shielded {
+		d := delayWith(AggressorsQuiet)
+		return d, d
+	}
+	return delayWith(AggressorsSameDirection), delayWith(AggressorsOpposite)
+}
+
+// DelayUncertainty returns (worst − best)/nominal — the fraction of the
+// nominal delay that aggressor alignment can move a long unshielded line.
+func (l Line) DelayUncertainty(lengthM, rdrv, cload float64) float64 {
+	nominal := l.DrivenDelay(lengthM, rdrv, cload)
+	if nominal <= 0 {
+		return 0
+	}
+	best, worst := l.DynamicDelayRange(lengthM, rdrv, cload, false)
+	return (worst - best) / nominal
+}
