@@ -1,0 +1,37 @@
+# Verify/bench entry points. `make verify` is the PR gate: vet + build +
+# the full test suite under the race detector (the parallel reproduction
+# engine makes -race mandatory, not optional).
+
+GO ?= go
+
+.PHONY: all build test race vet verify bench bench-mesh bench-report
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: vet build race
+
+# All benchmarks: every artifact end to end + ablations + solver kernels +
+# the parallel full-report speedup (bench_test.go).
+bench:
+	$(GO) test -bench=. -run='^$$' -benchmem .
+
+# The hot IR-drop kernel: seed-style allocating CG vs workspace CG (what
+# powergrid.Mesh.Solve runs) vs Jacobi PCG.
+bench-mesh:
+	$(GO) test -bench='BenchmarkMeshSolve' -run='^$$' -benchmem .
+
+# Full-report wall clock at -jobs=1 vs -jobs=NumCPU.
+bench-report:
+	$(GO) test -bench='BenchmarkFullReport' -run='^$$' .

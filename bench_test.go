@@ -6,6 +6,9 @@
 package nanometer_test
 
 import (
+	"fmt"
+	"io"
+	"runtime"
 	"testing"
 
 	"nanometer/internal/core"
@@ -16,11 +19,14 @@ import (
 	"nanometer/internal/gate"
 	"nanometer/internal/itrs"
 	"nanometer/internal/logicsim"
+	"nanometer/internal/mathx"
 	"nanometer/internal/netlist"
 	"nanometer/internal/powergrid"
 	"nanometer/internal/rcsim"
 	"nanometer/internal/repeater"
+	"nanometer/internal/repro"
 	"nanometer/internal/resize"
+	"nanometer/internal/runner"
 	"nanometer/internal/sta"
 	"nanometer/internal/units"
 	"nanometer/internal/wire"
@@ -411,6 +417,137 @@ func BenchmarkClaimBusPlan(b *testing.B) {
 		if _, err := experiments.RunBusPlan(50); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel harness & solver kernels ------------------------------------------
+
+// meshLaplacian builds the n×n 5-point mesh system Mesh.Solve assembles —
+// reflective boundaries, the center node pinned (removed) as the bump,
+// uniform current injection — the hot inner kernel of Figure 5 / C8,
+// isolated for solver comparisons.
+func meshLaplacian(n int) (*mathx.SparseMatrix, []float64) {
+	center := (n/2)*n + n/2
+	idx := make([]int, n*n)
+	cnt := 0
+	for i := range idx {
+		if i == center {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = cnt
+		cnt++
+	}
+	m := mathx.NewSparseMatrix(cnt)
+	b := make([]float64, cnt)
+	at := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			u := at(r, c)
+			if idx[u] < 0 {
+				continue
+			}
+			row := idx[u]
+			b[row] = 1e-4
+			deg := 0.0
+			for _, nb := range [][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+				if nb[0] < 0 || nb[0] >= n || nb[1] < 0 || nb[1] >= n {
+					continue // reflective boundary
+				}
+				v := at(nb[0], nb[1])
+				deg++
+				if idx[v] >= 0 {
+					m.Add(row, idx[v], -1)
+				}
+			}
+			m.Add(row, row, deg)
+		}
+	}
+	return m, b
+}
+
+// BenchmarkMeshSolve compares the solver variants on the IR-drop kernel:
+// allocating CG (the seed behaviour), CG on a reused workspace (what
+// powergrid.Mesh.Solve now runs — zero allocs), and Jacobi PCG (on par in
+// iterations here because the mesh diagonal is near-constant; it wins on
+// badly scaled grids). Iterations are reported per variant.
+func BenchmarkMeshSolve(b *testing.B) {
+	m, rhs := meshLaplacian(63)
+	b.Run("CG", func(b *testing.B) {
+		b.ReportAllocs()
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			_, it, err := m.SolveCG(rhs, 1e-10, 20*m.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters = it
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+	b.Run("CG-workspace", func(b *testing.B) {
+		var ws mathx.Workspace
+		b.ReportAllocs()
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			_, it, err := m.SolveCGW(&ws, rhs, 1e-10, 20*m.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters = it
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+	b.Run("PCG-workspace", func(b *testing.B) {
+		var ws mathx.Workspace
+		b.ReportAllocs()
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			_, it, err := m.SolvePCGW(&ws, rhs, 1e-10, 20*m.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters = it
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+}
+
+// BenchmarkMeshSolveGrid runs the full powergrid path (assembly + pooled
+// workspace + PCG) exactly as Figure 5 does.
+func BenchmarkMeshSolveGrid(b *testing.B) {
+	node := itrs.MustNode(35)
+	spec := powergrid.DefaultSpec(node, node.BumpPitchMinM)
+	for i := 0; i < b.N; i++ {
+		if _, err := powergrid.PessimisticRatio(spec, 63); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullReport regenerates the entire nanorepro report (tables,
+// figures, claims) through the runner pool at several worker counts. The
+// jobs=1 case is the serial baseline; speedup at jobs>1 scales with
+// available cores (GOMAXPROCS) since the artifacts are independent.
+func BenchmarkFullReport(b *testing.B) {
+	counts := []int{1, 2, runtime.NumCPU()}
+	if runtime.NumCPU() <= 2 {
+		counts = counts[:2]
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("jobs=%d", workers), func(b *testing.B) {
+			jobs := repro.Jobs(repro.Artifacts(), repro.Options{})
+			pool := runner.Pool{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				results, err := pool.RunTo(io.Discard, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := runner.Errs(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,10 +1,18 @@
 // Command nanorepro regenerates every table and figure of "Future
 // Performance Challenges in Nanometer Design" (DAC 2001) from the model
-// stack, plus the paper's quantified in-text claims (C1–C9 of DESIGN.md).
+// stack, plus the paper's quantified in-text claims (C1–C13 of DESIGN.md).
+//
+// Artifacts are independent, so they run concurrently on a bounded worker
+// pool (internal/runner). Output order — and every output byte — is
+// identical for any -jobs value: each artifact renders into its own buffer
+// and buffers are emitted in canonical order. A failed artifact no longer
+// aborts the run; all per-artifact errors are aggregated and reported at the
+// end, and the exit status reflects them.
 //
 // Usage:
 //
-//	nanorepro                 # print everything
+//	nanorepro                 # print everything, one worker per CPU
+//	nanorepro -jobs 1         # serial (same bytes, slower)
 //	nanorepro -only t2,f3     # select artifacts (t1,t2,f1..f5,c1..c13)
 //	nanorepro -csv out/       # also write figure CSVs
 //	nanorepro -plot           # crude terminal plots for the figures
@@ -14,12 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
 	"strings"
 
-	"nanometer/internal/experiments"
-	"nanometer/internal/report"
-	"nanometer/internal/signaling"
+	"nanometer/internal/repro"
+	"nanometer/internal/runner"
 )
 
 var (
@@ -28,386 +35,40 @@ var (
 	csvDir  = flag.String("csv", "", "directory to write figure CSVs into")
 	plot    = flag.Bool("plot", false, "render terminal plots for figures")
 	verbose = flag.Bool("v", false, "extra detail in claim outputs")
+	jobs    = flag.Int("jobs", runtime.NumCPU(), "max artifacts rendered concurrently (output is identical for any value)")
 )
-
-// artifacts indexes every reproducible id.
-var artifacts = []struct{ id, title string }{
-	{"t1", "Table 1: published NMOS devices vs ITRS projections"},
-	{"t2", "Table 2: analytical Ioff scaling"},
-	{"f1", "Figure 1: Pstatic/Pdynamic vs switching activity"},
-	{"f2", "Figure 2: dual-Vth scaling"},
-	{"f3", "Figure 3: delay vs Vdd under Vth policies"},
-	{"f4", "Figure 4: Pdynamic/Pstatic vs Vdd"},
-	{"f5", "Figure 5: IR-drop scaling"},
-	{"c1", "dynamic thermal management (§2.1)"},
-	{"c2", "global signaling census and low-swing alternative (§2.2)"},
-	{"c3", "library optimization at fixed timing (§2.3)"},
-	{"c4", "clustered voltage scaling (§2.4)"},
-	{"c5", "dual-Vth assignment (§3.2.2)"},
-	{"c6", "re-sizing vs multi-Vdd (§3.3)"},
-	{"c7", "Vdd floor under the ITRS static constraint (§3.3)"},
-	{"c8", "ITRS bump plan at 35 nm (§4)"},
-	{"c9", "wakeup transients and MCML (§4)"},
-	{"c10", "intra-cell multi-Vth stacks (§3.3 close)"},
-	{"c11", "standby-technique comparison and scalability (§3.2.1)"},
-	{"c12", "tolerable-swing study (the §2.2 open question)"},
-	{"c13", "signaling-primitive planner (conclusion #2's EDA tool)"},
-}
 
 func main() {
 	flag.Parse()
 	if *list {
-		for _, a := range artifacts {
-			fmt.Printf("%-4s %s\n", a.id, a.title)
+		for _, a := range repro.Artifacts() {
+			fmt.Printf("%-4s %s\n", a.ID, a.Title)
 		}
 		return
 	}
-	sel := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		id = strings.TrimSpace(strings.ToLower(id))
-		if id != "" {
-			sel[id] = true
-		}
+	arts, err := repro.Select(strings.Split(*only, ","))
+	if err != nil {
+		fatal(err)
 	}
-	want := func(id string) bool { return len(sel) == 0 || sel[id] }
-
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
+	opts := repro.Options{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose}
 
-	if want("t1") {
-		experiments.Table1Report().WriteTo(os.Stdout)
+	pool := runner.Pool{Workers: *jobs}
+	results, sinkErr := pool.RunTo(os.Stdout, repro.Jobs(arts, opts))
+	if sinkErr != nil {
+		fatal(sinkErr)
 	}
-	if want("t2") {
-		t, err := experiments.Table2Report()
-		if err != nil {
-			fatal(err)
+	if agg := runner.Errs(results); agg != nil {
+		fmt.Fprintln(os.Stderr, "nanorepro: some artifacts failed:")
+		for _, line := range strings.Split(agg.Error(), "\n") {
+			fmt.Fprintln(os.Stderr, "  "+line)
 		}
-		t.WriteTo(os.Stdout)
+		os.Exit(1)
 	}
-	if want("f1") {
-		fig, err := experiments.Figure1(nil)
-		if err != nil {
-			fatal(err)
-		}
-		emitFigure(fig, "figure1")
-	}
-	if want("f2") {
-		rows, err := experiments.Figure2()
-		if err != nil {
-			fatal(err)
-		}
-		t := &report.Table{
-			Title:   "Figure 2 (as data). Dual-Vth scaling",
-			Headers: []string{"node (nm)", "Ion gain @ -100mV Vth", "Ioff × @ -100mV", "Ioff × for +20% Ion", "ΔVth for +20% (mV)"},
-		}
-		for _, r := range rows {
-			t.AddRow(fmt.Sprintf("%d", r.NodeNM),
-				fmt.Sprintf("%.1f%%", r.IonGainPct),
-				fmt.Sprintf("%.1f", r.IoffX100mV),
-				fmt.Sprintf("%.1f", r.IoffXFor20PctIon),
-				fmt.Sprintf("%.0f", r.DeltaVthFor20Pct*1e3))
-		}
-		t.Notes = append(t.Notes, "paper: Ioff penalty for +20% Ion falls from 54× \"today\" to 7× at 35 nm; 100 mV ⇒ ~15× Ioff throughout")
-		t.WriteTo(os.Stdout)
-		emitFigure(experiments.Figure2Figure(rows), "figure2")
-	}
-	if want("f3") || want("f4") {
-		fig3, fig4, err := experiments.Figure3And4(nil)
-		if err != nil {
-			fatal(err)
-		}
-		if want("f3") {
-			emitFigure(fig3, "figure3")
-		}
-		if want("f4") {
-			emitFigure(fig4, "figure4")
-		}
-	}
-	if want("f5") {
-		rows, err := experiments.Figure5()
-		if err != nil {
-			fatal(err)
-		}
-		t := &report.Table{
-			Title:   "Figure 5 (as data). IR-drop scaling",
-			Headers: []string{"node (nm)", "min pitch (µm)", "W/Wmin", "%routing", "ITRS pitch (µm)", "W/Wmin", "%routing"},
-		}
-		for _, r := range rows {
-			t.AddRow(fmt.Sprintf("%d", r.NodeNM),
-				fmt.Sprintf("%.0f", r.MinPitchM*1e6),
-				fmt.Sprintf("%.1f", r.MinWidthOverMin),
-				fmt.Sprintf("%.1f%%", r.MinRoutingFraction*100),
-				fmt.Sprintf("%.0f", r.ITRSPitchM*1e6),
-				fmt.Sprintf("%.0f", r.ITRSWidthOverMin),
-				fmt.Sprintf("%.1f%%", r.ITRSRoutingFraction*100))
-		}
-		t.Notes = append(t.Notes, "paper: 16× Wmin (<4% routing + 16% pads) at 35 nm minimum pitch; >2000× under ITRS bump counts")
-		t.WriteTo(os.Stdout)
-		emitFigure(experiments.Figure5Figure(rows), "figure5")
-	}
-
-	if want("c1") {
-		r, err := experiments.DTM(50)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C1. Dynamic thermal management (50 nm node)\n")
-		fmt.Printf("  theoretical worst case: %.0f W; effective worst case under DTM: %.0f W (%.0f%% — paper ≈75%%)\n",
-			r.TheoreticalWorstW, r.EffectiveWorstW, r.EffectiveFraction*100)
-		fmt.Printf("  allowable θja relief: +%.0f%% (paper: +33%%)\n", r.ThetaJAHeadroom*100)
-		fmt.Printf("  cooling: %s ($%.0f) vs %s ($%.0f) — %.1f× cheaper\n",
-			r.CostTheoretical.Class, r.CostTheoretical.CostUSD,
-			r.CostEffective.Class, r.CostEffective.CostUSD, r.CostRatio)
-		fmt.Printf("  power virus on the DTM-sized package: peak %.1f °C (limit held), throughput %.0f%%\n",
-			r.VirusPeakTempC, r.VirusThroughput*100)
-		fmt.Printf("  65→75 W cooling-cost step at the 1999 point: %.1f× (paper: ~3×)\n\n", r.Intel65to75)
-	}
-	if want("c2") {
-		rows, err := experiments.Signaling()
-		if err != nil {
-			fatal(err)
-		}
-		t := &report.Table{
-			Title: "C2. Global signaling: repeated CMOS census vs differential low-swing",
-			Headers: []string{"node", "repeaters", "P (W)", "area", "cyc/edge scaled", "unscaled",
-				"diff E ratio", "diff P (W)", "tracks", "diff SNR", "di/dt ratio"},
-		}
-		for _, r := range rows {
-			t.AddRow(fmt.Sprintf("%d", r.NodeNM),
-				fmt.Sprintf("%d", r.Repeaters),
-				fmt.Sprintf("%.1f", r.SignalingPowerW),
-				fmt.Sprintf("%.1f%%", r.RepeaterAreaFraction*100),
-				fmt.Sprintf("%.1f", r.ScaledCycles),
-				fmt.Sprintf("%.1f", r.UnscaledCycles),
-				fmt.Sprintf("%.2f", r.DiffEnergyRatio),
-				fmt.Sprintf("%.1f", r.DiffPowerW),
-				fmt.Sprintf("%.2f", r.DiffTrackRatio),
-				fmt.Sprintf("%.1f", r.DiffSNR),
-				fmt.Sprintf("%.3f", r.PeakCurrentRatio))
-		}
-		t.Notes = append(t.Notes,
-			"paper: ~10⁴ repeaters at 180 nm → ~10⁶ at 50 nm; >50 W; Alpha 21264 buses at 10% swing",
-			"per [9]: unscaled top-level wiring keeps the die reachable in a few cycles at ITRS clocks")
-		t.WriteTo(os.Stdout)
-	}
-	if want("c3") {
-		r, err := experiments.RunLibrary(experiments.DefaultCircuitSetup())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C3. Library optimization at fixed timing (%d gates, %d nm)\n", r.Setup.Gates, r.Setup.NodeNM)
-		for _, res := range r.Results {
-			fmt.Printf("  %-32s power %.3f mW  size %.0f  met=%v\n",
-				res.Library.Name, res.Power.TotalW()*1e3, res.TotalSize, res.TimingMet)
-		}
-		fmt.Printf("  on-the-fly vs coarse library: %.0f%% power saving (paper: 15-22%%); vs rich: %.0f%%\n\n",
-			r.ContinuousVsCoarse*100, r.ContinuousVsRich*100)
-	}
-	if want("c4") {
-		r, err := experiments.RunCVS(experiments.DefaultCircuitSetup())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C4. Clustered voltage scaling (Vdd,l = %.2f·Vdd,h)\n", r.Setup.LowVddRatio)
-		fmt.Printf("  path utilization: %.0f%% of paths below half the cycle (paper: >50%%)\n", r.PathUtilization*100)
-		c := r.Clustered
-		fmt.Printf("  clustered:   %.0f%% of gates at Vdd,l (paper ~75%%), dynamic saving %.0f%% (paper 45-50%%),\n"+
-			"               LC overhead %.1f%% (paper 8-10%%), area +%.0f%% (paper ~15%%), %d LCs, met=%v\n",
-			c.AssignedFraction*100, c.DynamicSaving*100, c.LCOverheadFraction*100,
-			c.AreaOverhead*100, c.LevelConverters, c.TimingMet)
-		u := r.Unclustered
-		fmt.Printf("  unclustered: %.0f%% assigned, saving %.0f%%, LC overhead %.1f%%, %d LCs (clustering ablation)\n\n",
-			u.AssignedFraction*100, u.DynamicSaving*100, u.LCOverheadFraction*100, u.LevelConverters)
-	}
-	if want("c5") {
-		r, err := experiments.RunDualVth(experiments.DefaultCircuitSetup())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C5. Dual-Vth assignment\n")
-		fmt.Printf("  sensitivity-ordered: %.0f%% high-Vth, leakage -%.0f%% (paper 40-80%%), delay +%.1f%%, met=%v\n",
-			r.Sensitivity.HighVthFraction*100, r.Sensitivity.LeakageSaving*100,
-			r.Sensitivity.DelayPenalty*100, r.Sensitivity.TimingMet)
-		fmt.Printf("  slack-ordered (ablation): %.0f%% high-Vth, leakage -%.0f%%\n\n",
-			r.SlackOrdered.HighVthFraction*100, r.SlackOrdered.LeakageSaving*100)
-	}
-	if want("c6") {
-		r, err := experiments.RunResizeVsVdd(experiments.DefaultCircuitSetup())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C6. Re-sizing vs multi-Vdd (same start netlist)\n")
-		fmt.Printf("  resize: size -%.0f%% → dynamic -%.0f%% (sublinearity %.2f — wire cap persists)\n",
-			r.Resize.SizeReduction*100, r.Resize.DynamicSaving*100, r.Resize.Sublinearity)
-		fmt.Printf("  CVS:    %.0f%% assigned → dynamic -%.0f%% (quadratic Vdd leverage)\n",
-			r.CVSOnSame.AssignedFraction*100, r.CVSOnSame.DynamicSaving*100)
-		fmt.Printf("  combined flow: total -%.0f%% (dyn -%.0f%%, leak -%.0f%%), met=%v\n",
-			r.Combined.TotalSaving*100, r.Combined.DynamicSaving*100, r.Combined.LeakageSaving*100, r.Combined.TimingMet)
-		fmt.Printf("  resize-then-CVS: only %.0f%% of gates still tolerate Vdd,l (paper's ordering warning)\n\n",
-			r.AssignedAfterResize*100)
-	}
-	if want("c7") {
-		r, err := experiments.RunVddFloor()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C7. Vdd floor under Pdyn ≥ 10×Pstatic (35 nm, constant-Pstatic policy)\n")
-		fmt.Printf("  floor: Vdd = %.2f V (paper ≈0.44 V), dynamic saving %.0f%% (paper 46%%)\n",
-			r.Vdd, r.Savings*100)
-		fmt.Printf("  at 0.2 V: delay ×%.2f (paper <1.3×), Pdyn -%.0f%% (paper 89%%), Vth = %.0f mV\n\n",
-			r.At02V.DelayNorm, (1-r.At02V.PdynNorm)*100, r.At02V.Vth*1e3)
-	}
-	if want("c8") {
-		r, err := experiments.RunBumps()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C8. ITRS bump plan at 35 nm\n")
-		fmt.Printf("  effective power-bump pitch: %.0f µm (paper: 356 µm); attainable: %.0f µm\n",
-			r.EffectivePitchM*1e6, r.MinPitchM*1e6)
-		fmt.Printf("  required rail width: %.0f× Wmin under ITRS counts (paper >2000×, rails %s), %.0f× at min pitch (paper 16×)\n",
-			r.ITRSWidthOverMin, feasStr(r.ITRSFeasible), r.MinWidthOverMin)
-		fmt.Printf("  bump current: %.0f A over %d Vdd bumps = %.2f A/bump vs %.2f A capability → need %d bumps\n",
-			r.Current.SupplyCurrentA, r.Current.VddBumps, r.Current.PerBumpA, r.Current.CapabilityA, r.Current.RequiredBumps)
-		fmt.Printf("  solver check: 1-D ladder/analytic = %.3f (≈1); 2-D all-top-metal bound = %.1f×\n\n",
-			r.LadderRatio, r.PessimisticRatio)
-	}
-	if want("c9") {
-		r, err := experiments.RunTransients()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C9. Sleep-mode wakeup transients and MCML (35 nm)\n")
-		fmt.Printf("  MTCMOS block: standby leakage -%.1f%%, active delay +%.1f%%\n",
-			r.BlockStandbySavings*100, r.BlockDelayPenalty*100)
-		fmt.Printf("  unstaged wakeup of a %.0f A block: droop %.1f%% Vdd at min bump pitch vs %.1f%% under ITRS counts\n",
-			r.BlockStepA, r.NoiseMinPitch.NoiseFraction*100, r.NoiseITRS.NoiseFraction*100)
-		fmt.Printf("  staging required for <10%% droop: %.1f ns (min pitch) vs %.1f ns (ITRS); max instant step %.0f A vs %.0f A\n",
-			r.SafeRampMinPitchS*1e9, r.SafeRampITRSS*1e9, r.MaxInstantStepMinA, r.MaxInstantStepITRSA)
-		fmt.Printf("  MCML vs CMOS datapath gate (α=0.5): %.2f µW vs %.2f µW, crossover α*=%.2f, di/dt ratio %.3f\n\n",
-			r.MCML.McmlPowerW*1e6, r.MCML.CmosPowerW*1e6, r.MCML.CrossoverActivity, r.MCML.CurrentRippleRatio)
-	}
-	if want("c10") {
-		r, err := experiments.RunStackVth(70)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C10. Intra-cell multi-Vth stacks (§3.3, %d nm 2-high NAND pull-down)\n", r.NodeNM)
-		labels := []string{"all low Vth", "bottom high", "top high", "all high"}
-		for i, a := range r.Assignments {
-			fmt.Printf("  %-12s leakage -%5.1f%%  delay +%5.1f%%\n", labels[i], a.LeakageSaving*100, a.DelayPenalty*100)
-		}
-		fmt.Printf("  best within 10%% delay: %d high-Vth device(s), leakage -%.0f%%\n",
-			r.Best.HighCount(), r.Best.LeakageSaving*100)
-		fmt.Printf("  stack effect: both-off leaks %.2f× a single off device; parking the idle state saves %.0f%%\n\n",
-			r.StackFactor, r.ParkedSaving*100)
-	}
-	if want("c11") {
-		r, err := experiments.RunStandby()
-		if err != nil {
-			fatal(err)
-		}
-		t := &report.Table{
-			Title:   "C11. Standby-leakage techniques (§3.2.1), 180 nm vs 35 nm",
-			Headers: []string{"technique", "standby@180", "standby@35", "active", "delay", "area", "scales?"},
-		}
-		for i, a := range r.At35 {
-			b := r.At180[i]
-			scal := "yes"
-			if !a.Scalable {
-				scal = "NO"
-			}
-			t.AddRow(a.Technique.String(),
-				fmt.Sprintf("-%.1f%%", b.StandbyReduction*100),
-				fmt.Sprintf("-%.1f%%", a.StandbyReduction*100),
-				fmt.Sprintf("-%.1f%%", a.ActiveReduction*100),
-				fmt.Sprintf("+%.1f%%", a.DelayPenalty*100),
-				fmt.Sprintf("+%.1f%%", a.AreaOverhead*100),
-				scal)
-		}
-		t.Notes = append(t.Notes,
-			"paper: body-bias-controlled Vth \"does not scale well\"; dual-Vth is the only technique in current high-end MPUs",
-			fmt.Sprintf("non-scalable at 35 nm: %v", r.NonScalableAt35()))
-		t.WriteTo(os.Stdout)
-	}
-	if want("c12") {
-		r, err := experiments.RunSwingStudy(50)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C12. Tolerable-swing study (the §2.2 \"further study\" — %d nm global route, SNR ≥ 2)\n", r.NodeNM)
-		print := func(name string, st signaling.SwingStudy) {
-			if !st.Feasible {
-				fmt.Printf("  %-28s no swing closes (shielding insufficient — the paper's caveat)\n", name)
-				return
-			}
-			alpha := "fails"
-			if st.AlphaSwingOK {
-				alpha = "closes"
-			}
-			fmt.Printf("  %-28s min swing %.1f%% of Vdd (energy ×%.2f); Alpha's 10%% swing %s\n",
-				name, st.MinSwingFrac*100, st.EnergyRatioAtMin, alpha)
-		}
-		print("differential, shielded", r.DiffShielded)
-		print("differential, unshielded", r.DiffBare)
-		print("single-ended, shielded", r.SEShielded)
-		print("single-ended, unshielded", r.SEBare)
-		fmt.Println()
-	}
-	if want("c13") {
-		r, err := experiments.RunBusPlan(50)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("C13. Signaling-primitive planner (conclusion #2's EDA tool, %d nm, 48 global routes)\n", r.NodeNM)
-		fmt.Printf("  primitive mix: %d repeated CMOS, %d low-swing, %d differential low-swing\n",
-			r.Repeated, r.LowSwing, r.Differential)
-		fmt.Printf("  power: %.2f mW vs %.2f mW all-repeated baseline (-%.0f%%), %.0f routing tracks\n\n",
-			r.Plan.TotalPowerW*1e3, r.Plan.BaselinePowerW*1e3, r.Plan.Saving*100, r.Plan.TotalTracks)
-	}
-	_ = verbose
-}
-
-func emitFigure(fig *report.Figure, name string) {
-	if *plot {
-		fig.RenderASCII(os.Stdout, 72, 18)
-		fmt.Println()
-	} else {
-		// Compact textual dump: endpoint summary per series.
-		fmt.Printf("%s\n", fig.Title)
-		for _, s := range fig.Series {
-			if len(s.X) == 0 {
-				continue
-			}
-			fmt.Printf("  %-40s (%.3g, %.3g) → (%.3g, %.3g), %d pts\n",
-				s.Name, s.X[0], s.Y[0], s.X[len(s.X)-1], s.Y[len(s.Y)-1], len(s.X))
-		}
-		fmt.Println()
-	}
-	if *csvDir != "" {
-		path := filepath.Join(*csvDir, name+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		if err := fig.WriteCSV(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("  wrote %s\n\n", path)
-	}
-}
-
-func feasStr(ok bool) string {
-	if ok {
-		return "feasible"
-	}
-	return "INFEASIBLE on-die"
 }
 
 func fatal(err error) {

@@ -40,10 +40,21 @@ type calibKey struct {
 	pol  Polarity
 }
 
-var (
-	calibMu    sync.Mutex
-	calibCache = map[calibKey]*Device{}
-)
+// calibEntry is a once-cell: the first goroutine to claim a key runs the
+// calibration, every other goroutine blocks on the Once and then reads the
+// immutable result. Compared with the old global mutex this keeps concurrent
+// reproduction jobs from serializing on cache *hits* (the common case) and
+// from holding a lock across the Brent solve on misses.
+type calibEntry struct {
+	once sync.Once
+	dev  *Device
+	err  error
+}
+
+// calibCache maps calibKey → *calibEntry. Entries with err != nil are kept
+// (the inputs are static tables, so a failure is deterministic and retrying
+// cannot succeed).
+var calibCache sync.Map
 
 // ForNode returns the calibrated NMOS device model for a roadmap node. The
 // returned device is a fresh copy; callers may mutate it.
@@ -74,13 +85,19 @@ func MustForNodePMOS(drawnNM int) *Device {
 }
 
 func forNode(drawnNM int, pol Polarity) (*Device, error) {
-	calibMu.Lock()
-	defer calibMu.Unlock()
-	key := calibKey{drawnNM, pol}
-	if d, ok := calibCache[key]; ok {
-		c := *d
-		return &c, nil
+	e, _ := calibCache.LoadOrStore(calibKey{drawnNM, pol}, &calibEntry{})
+	entry := e.(*calibEntry)
+	entry.once.Do(func() { entry.dev, entry.err = calibrate(drawnNM, pol) })
+	if entry.err != nil {
+		return nil, entry.err
 	}
+	c := *entry.dev
+	return &c, nil
+}
+
+// calibrate builds and mobility-calibrates the device model for one node and
+// polarity. It is called exactly once per key, via the cache's once-cell.
+func calibrate(drawnNM int, pol Polarity) (*Device, error) {
 	node, err := itrs.ByNode(drawnNM)
 	if err != nil {
 		return nil, err
@@ -121,9 +138,7 @@ func forNode(drawnNM int, pol Polarity) (*Device, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	calibCache[key] = d
-	c := *d
-	return &c, nil
+	return d, nil
 }
 
 // CalibrateMobility solves for the effective mobility at which the device

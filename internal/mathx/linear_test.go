@@ -1,6 +1,7 @@
 package mathx
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -183,6 +184,233 @@ func TestSORParameterValidation(t *testing.T) {
 	bad.Add(0, 1, 1)
 	if _, _, err := bad.SolveSOR([]float64{1, 1}, nil, 1.5, 1e-9, 100); err == nil {
 		t.Fatalf("zero diagonal must error")
+	}
+}
+
+// buildMesh2D builds the n×n 5-point mesh Laplacian with Dirichlet boundary
+// (the structure of the power-grid IR-drop systems) and a uniform RHS.
+func buildMesh2D(n int) (*SparseMatrix, []float64) {
+	m := NewSparseMatrix(n * n)
+	b := make([]float64, n*n)
+	at := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			m.Add(at(r, c), at(r, c), 4)
+			if r > 0 {
+				m.Add(at(r, c), at(r-1, c), -1)
+			}
+			if r < n-1 {
+				m.Add(at(r, c), at(r+1, c), -1)
+			}
+			if c > 0 {
+				m.Add(at(r, c), at(r, c-1), -1)
+			}
+			if c < n-1 {
+				m.Add(at(r, c), at(r, c+1), -1)
+			}
+			b[at(r, c)] = 1
+		}
+	}
+	return m, b
+}
+
+// TestSolversAgreeOnSPDSystems is the table-driven agreement check: on small
+// SPD systems PCG, CG, and dense elimination must produce the same solution.
+func TestSolversAgreeOnSPDSystems(t *testing.T) {
+	cases := []struct {
+		name   string
+		sparse *SparseMatrix
+		b      []float64
+	}{
+		{"laplacian1d-1", nil, nil},
+		{"laplacian1d-2", nil, nil},
+		{"laplacian1d-13", nil, nil},
+		{"mesh2d-5", nil, nil},
+		{"diag-only", nil, nil},
+	}
+	cases[0].sparse, cases[0].b = buildLaplacian(1)
+	cases[1].sparse, cases[1].b = buildLaplacian(2)
+	cases[2].sparse, cases[2].b = buildLaplacian(13)
+	cases[3].sparse, cases[3].b = buildMesh2D(5)
+	d := NewSparseMatrix(4)
+	for i := 0; i < 4; i++ {
+		d.Add(i, i, float64(i+1))
+	}
+	cases[4].sparse, cases[4].b = d, []float64{4, 3, 2, 1}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.sparse.N
+			dense := make([][]float64, n)
+			for i := range dense {
+				dense[i] = make([]float64, n)
+				unit := make([]float64, n)
+				unit[i] = 1
+				tc.sparse.MulVec(unit, dense[i]) // column i of A = row i (symmetric)
+			}
+			want, err := SolveDense(dense, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, cgIters, err := tc.sparse.SolveCG(tc.b, 1e-12, 10000)
+			if err != nil {
+				t.Fatalf("CG: %v", err)
+			}
+			pcg, pcgIters, err := tc.sparse.SolvePCG(tc.b, 1e-12, 10000)
+			if err != nil {
+				t.Fatalf("PCG: %v", err)
+			}
+			if cgIters <= 0 || pcgIters <= 0 {
+				t.Fatalf("iteration counts must be positive: cg %d, pcg %d", cgIters, pcgIters)
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(cg[i]-want[i]) > 1e-6 {
+					t.Fatalf("CG[%d] = %g, want %g", i, cg[i], want[i])
+				}
+				if math.Abs(pcg[i]-want[i]) > 1e-6 {
+					t.Fatalf("PCG[%d] = %g, want %g", i, pcg[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPCGPreconditionerHelps pins the reason SolvePCG exists: on a
+// badly-scaled SPD system Jacobi preconditioning must cut the iteration
+// count.
+func TestPCGPreconditionerHelps(t *testing.T) {
+	const n = 64
+	m := NewSparseMatrix(n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scale := math.Pow(10, float64(i%4)) // wildly varying diagonal
+		m.Add(i, i, 2*scale)
+		if i > 0 {
+			m.Add(i, i-1, -0.5)
+			m.Add(i-1, i, -0.5)
+		}
+		b[i] = 1
+	}
+	_, cgIters, err := m.SolveCG(b, 1e-10, 10*n)
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	_, pcgIters, err := m.SolvePCG(b, 1e-10, 10*n)
+	if err != nil {
+		t.Fatalf("PCG: %v", err)
+	}
+	if pcgIters >= cgIters {
+		t.Fatalf("Jacobi preconditioning did not help: PCG %d iters vs CG %d", pcgIters, cgIters)
+	}
+}
+
+// TestNonSPDReturnsError: the old solver divided by pᵀAp unguarded and
+// silently emitted NaN/Inf; now an indefinite matrix must produce ErrNotSPD
+// and never a poisoned solution.
+func TestNonSPDReturnsError(t *testing.T) {
+	// Symmetric indefinite: eigenvalues 3 and -1.
+	ind := NewSparseMatrix(2)
+	ind.Add(0, 0, 1)
+	ind.Add(1, 1, 1)
+	ind.Add(0, 1, 2)
+	ind.Add(1, 0, 2)
+	// RHS aligned with the negative-eigenvalue direction so the very first
+	// search direction has negative curvature.
+	b := []float64{1, -1}
+	x, _, err := ind.SolveCG(b, 1e-10, 100)
+	if err == nil {
+		t.Fatal("indefinite matrix must error")
+	}
+	if !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("error %v does not wrap ErrNotSPD", err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("NaN/Inf leaked into the solution: %v", x)
+		}
+	}
+	// Negative diagonal: PCG rejects before iterating.
+	neg := NewSparseMatrix(2)
+	neg.Add(0, 0, -1)
+	neg.Add(1, 1, 1)
+	if _, _, err := neg.SolvePCG([]float64{1, 1}, 1e-10, 100); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("negative diagonal must yield ErrNotSPD, got %v", err)
+	}
+	// Zero matrix row → zero curvature, also non-SPD.
+	zero := NewSparseMatrix(2)
+	zero.Add(1, 1, 1)
+	if _, _, err := zero.SolveCG([]float64{1, 1}, 1e-10, 100); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("singular matrix must yield ErrNotSPD, got %v", err)
+	}
+}
+
+// TestSORStopsOnTrueResidual: when SolveSOR reports convergence the *actual*
+// residual must satisfy the tolerance (the old delta-based test could stop
+// while the residual was still large), and iteration exhaustion must report
+// ErrNoConverge with the best iterate.
+func TestSORStopsOnTrueResidual(t *testing.T) {
+	// Slowly converging: a long 1-D chain with under-relaxation.
+	m, b := buildLaplacian(60)
+	x, iters, err := m.SolveSOR(b, nil, 0.8, 1e-8, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters <= 0 {
+		t.Fatalf("iteration count %d", iters)
+	}
+	scratch := make([]float64, m.N)
+	bNorm := math.Sqrt(dot(b, b))
+	if rel := m.residualNorm(b, x, scratch) / bNorm; rel > 1e-8 {
+		t.Fatalf("declared converged at relative residual %g > tol", rel)
+	}
+	// Exhaustion: too few sweeps must error (not silently claim success) and
+	// still return the running iterate.
+	x, iters, err = m.SolveSOR(b, nil, 0.8, 1e-8, 3)
+	if !errors.Is(err, ErrNoConverge) {
+		t.Fatalf("want ErrNoConverge, got %v", err)
+	}
+	if iters != 3 || x == nil {
+		t.Fatalf("exhaustion must report maxIter and the best iterate (%d, %v)", iters, x)
+	}
+}
+
+// TestWorkspaceSolverReuse: repeated workspace solves stay correct (no state
+// leaks between solves, across solver variants and different system sizes)
+// and allocate nothing once warm.
+func TestWorkspaceSolverReuse(t *testing.T) {
+	var ws Workspace
+	big, bigB := buildMesh2D(7)
+	small, smallB := buildLaplacian(5)
+	solvers := []func(m *SparseMatrix, b []float64) ([]float64, int, error){
+		func(m *SparseMatrix, b []float64) ([]float64, int, error) { return m.SolvePCGW(&ws, b, 1e-12, 10000) },
+		func(m *SparseMatrix, b []float64) ([]float64, int, error) { return m.SolveCGW(&ws, b, 1e-12, 10000) },
+	}
+	for round := 0; round < 3; round++ {
+		for si, solve := range solvers {
+			for _, sys := range []struct {
+				m *SparseMatrix
+				b []float64
+			}{{big, bigB}, {small, smallB}} {
+				x, _, err := solve(sys.m, sys.b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch := make([]float64, sys.m.N)
+				if rel := sys.m.residualNorm(sys.b, x, scratch) / math.Sqrt(dot(sys.b, sys.b)); rel > 1e-10 {
+					t.Fatalf("round %d solver %d: residual %g", round, si, rel)
+				}
+			}
+		}
+	}
+	for si, solve := range solvers {
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := solve(big, bigB); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Fatalf("warm workspace solve (solver %d) allocates %.0f objects, want 0", si, allocs)
+		}
 	}
 }
 
