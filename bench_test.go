@@ -536,7 +536,9 @@ func BenchmarkFullReport(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("jobs=%d", workers), func(b *testing.B) {
-			jobs := repro.Jobs(repro.Artifacts(), repro.Options{})
+			// NoCache: this benchmark measures the model stack, not the
+			// memoized path (BenchmarkArtifactCache covers that).
+			jobs := repro.Jobs(repro.Artifacts(), repro.Options{NoCache: true})
 			pool := runner.Pool{Workers: workers}
 			for i := 0; i < b.N; i++ {
 				results, err := pool.RunTo(io.Discard, jobs)

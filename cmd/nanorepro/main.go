@@ -2,20 +2,29 @@
 // Performance Challenges in Nanometer Design" (DAC 2001) from the model
 // stack, plus the paper's quantified in-text claims (C1–C13 of DESIGN.md).
 //
+// Each artifact computes into a typed result (internal/result) and is then
+// encoded (internal/render) in the format -format selects: the classic
+// terminal text, a single JSON document, or CSV blocks. Computation is
+// memoized process-wide, so every format of one run computes each artifact
+// exactly once.
+//
 // Artifacts are independent, so they run concurrently on a bounded worker
 // pool (internal/runner). Output order — and every output byte — is
 // identical for any -jobs value: each artifact renders into its own buffer
-// and buffers are emitted in canonical order. A failed artifact no longer
-// aborts the run; all per-artifact errors are aggregated and reported at the
+// and buffers are emitted in canonical order. A failed artifact does not
+// abort the run; all per-artifact errors are aggregated and reported at the
 // end, and the exit status reflects them.
 //
 // Usage:
 //
 //	nanorepro                 # print everything, one worker per CPU
+//	nanorepro -format json    # the same artifacts as one JSON document
+//	nanorepro -format csv     # tables, figures, and claim findings as CSV
 //	nanorepro -jobs 1         # serial (same bytes, slower)
 //	nanorepro -only t2,f3     # select artifacts (t1,t2,f1..f5,c1..c13)
-//	nanorepro -csv out/       # also write figure CSVs
+//	nanorepro -csv out/       # text report + per-figure CSV files
 //	nanorepro -plot           # crude terminal plots for the figures
+//	nanorepro -v              # append each claim's paper checks
 package main
 
 import (
@@ -25,17 +34,20 @@ import (
 	"runtime"
 	"strings"
 
+	"nanometer/internal/render"
 	"nanometer/internal/repro"
+	"nanometer/internal/result"
 	"nanometer/internal/runner"
 )
 
 var (
 	list    = flag.Bool("list", false, "list artifact ids and exit")
 	only    = flag.String("only", "", "comma-separated artifact ids (t1,t2,f1..f5,c1..c13); empty = all")
-	csvDir  = flag.String("csv", "", "directory to write figure CSVs into")
-	plot    = flag.Bool("plot", false, "render terminal plots for figures")
-	verbose = flag.Bool("v", false, "extra detail in claim outputs")
-	jobs    = flag.Int("jobs", runtime.NumCPU(), "max artifacts rendered concurrently (output is identical for any value)")
+	format  = flag.String("format", "text", "output format: text, json, or csv")
+	csvDir  = flag.String("csv", "", "directory to write figure CSVs into (text format)")
+	plot    = flag.Bool("plot", false, "render terminal plots for figures (text format)")
+	verbose = flag.Bool("v", false, "append each claim's paper checks (text format)")
+	jobs    = flag.Int("jobs", runtime.NumCPU(), "max artifacts computed concurrently (output is identical for any value)")
 )
 
 func main() {
@@ -50,25 +62,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
-		}
+	if *format != "text" && (*csvDir != "" || *plot || *verbose) {
+		fatal(fmt.Errorf("-csv, -plot, and -v only apply to -format text"))
 	}
+	pool := runner.Pool{Workers: *jobs}
 	opts := repro.Options{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose}
 
-	pool := runner.Pool{Workers: *jobs}
-	results, sinkErr := pool.RunTo(os.Stdout, repro.Jobs(arts, opts))
+	switch *format {
+	case "text":
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		stream(pool, repro.Jobs(arts, opts))
+	case "csv":
+		stream(pool, repro.EncodeJobs(arts, opts, render.CSV{}))
+	case "json":
+		results, aggErr := repro.ComputeAll(pool, arts, opts)
+		rep := &result.Report{}
+		for _, r := range results {
+			if r != nil {
+				rep.Artifacts = append(rep.Artifacts, r)
+			}
+		}
+		if err := (render.JSON{Indent: "  "}).EncodeReport(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		if aggErr != nil {
+			reportFailures(aggErr)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
+	}
+}
+
+// stream runs encode jobs on the pool, emitting each artifact's bytes in
+// canonical order, and exits non-zero on any per-artifact failure.
+func stream(pool runner.Pool, jobs []runner.Job) {
+	results, sinkErr := pool.RunTo(os.Stdout, jobs)
 	if sinkErr != nil {
 		fatal(sinkErr)
 	}
 	if agg := runner.Errs(results); agg != nil {
-		fmt.Fprintln(os.Stderr, "nanorepro: some artifacts failed:")
-		for _, line := range strings.Split(agg.Error(), "\n") {
-			fmt.Fprintln(os.Stderr, "  "+line)
-		}
-		os.Exit(1)
+		reportFailures(agg)
 	}
+}
+
+func reportFailures(agg error) {
+	fmt.Fprintln(os.Stderr, "nanorepro: some artifacts failed:")
+	for _, line := range strings.Split(agg.Error(), "\n") {
+		fmt.Fprintln(os.Stderr, "  "+line)
+	}
+	os.Exit(1)
 }
 
 func fatal(err error) {

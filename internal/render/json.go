@@ -1,0 +1,35 @@
+package render
+
+import (
+	"encoding/json"
+	"io"
+
+	"nanometer/internal/result"
+)
+
+// JSON encodes results as data. The output unmarshals back into the
+// internal/result types without loss, so downstream sweeps, dashboards, and
+// regression gates consume the same schema the compute layer produces.
+type JSON struct {
+	// Indent, when non-empty, pretty-prints with that indent string.
+	Indent string
+}
+
+// Encode writes one artifact result as a single JSON document followed by a
+// newline.
+func (j JSON) Encode(w io.Writer, res *result.Result) error {
+	return j.encode(w, res)
+}
+
+// EncodeReport writes a full run — {"artifacts": [...]} — as one document.
+func (j JSON) EncodeReport(w io.Writer, rep *result.Report) error {
+	return j.encode(w, rep)
+}
+
+func (j JSON) encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	if j.Indent != "" {
+		enc.SetIndent("", j.Indent)
+	}
+	return enc.Encode(v)
+}

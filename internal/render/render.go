@@ -1,0 +1,28 @@
+// Package render is the encode layer of the reproduction pipeline: it turns
+// the typed results of the compute layer (internal/result) into consumable
+// output. Three encoders share one input schema — Text reproduces the
+// classic terminal report byte for byte, JSON emits the results as data,
+// and CSV streams tables, figures, and claim findings as comma-separated
+// blocks. internal/report supplies the low-level table/figure writers; it
+// is an implementation detail of this package, not an artifact API.
+package render
+
+import (
+	"nanometer/internal/report"
+	"nanometer/internal/result"
+)
+
+// toReportTable adapts a typed table to the terminal table writer.
+func toReportTable(t *result.Table) *report.Table {
+	return &report.Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes}
+}
+
+// toReportFigure adapts a typed figure to the plot/CSV writers.
+func toReportFigure(f *result.Figure) *report.Figure {
+	rf := &report.Figure{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, LogX: f.LogX, LogY: f.LogY}
+	for i := range f.Series {
+		s := &f.Series[i]
+		rf.Series = append(rf.Series, &report.Series{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return rf
+}

@@ -1,0 +1,311 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nanometer/internal/result"
+)
+
+// Text encodes results as the classic terminal report. For any result the
+// compute layer produces today, the output is byte-identical to the
+// pre-split renderers (the golden test in internal/repro enforces this).
+type Text struct {
+	// CSVDir, when non-empty, is the directory figure CSVs are written to
+	// as a side effect, announced with a "wrote <path>" line.
+	CSVDir string
+	// Plot renders terminal plots instead of compact figure summaries.
+	Plot bool
+	// Verbose appends the paper checks of each claim finding.
+	Verbose bool
+}
+
+// Encode writes the result's items in order.
+func (t Text) Encode(w io.Writer, res *result.Result) error {
+	for _, it := range res.Items {
+		var err error
+		switch {
+		case it.Table != nil:
+			_, err = toReportTable(it.Table).WriteTo(w)
+		case it.Figure != nil:
+			err = t.encodeFigure(w, it.Figure)
+		case it.Claim != nil:
+			err = t.encodeClaim(w, res.ID, it.Claim)
+		default:
+			err = fmt.Errorf("render: %s: empty item", res.ID)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeFigure writes the figure (plot or compact endpoint summary) and,
+// when requested, its CSV. A CSV failure is returned after the textual
+// output so the artifact still shows its data; the caller's error
+// aggregation reports the broken file.
+func (t Text) encodeFigure(w io.Writer, f *result.Figure) error {
+	if t.Plot {
+		toReportFigure(f).RenderASCII(w, 72, 18)
+		fmt.Fprintln(w)
+	} else {
+		// Compact textual dump: endpoint summary per series.
+		fmt.Fprintf(w, "%s\n", f.Title)
+		for i := range f.Series {
+			s := &f.Series[i]
+			if len(s.X) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-40s (%.3g, %.3g) → (%.3g, %.3g), %d pts\n",
+				s.Name, s.X[0], s.Y[0], s.X[len(s.X)-1], s.Y[len(s.Y)-1], len(s.X))
+		}
+		fmt.Fprintln(w)
+	}
+	if t.CSVDir == "" {
+		return nil
+	}
+	path := filepath.Join(t.CSVDir, f.Name+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := toReportFigure(f).WriteCSV(file); err != nil {
+		file.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "  wrote %s\n\n", path)
+	return nil
+}
+
+// encodeClaim runs the claim's prose template, then the optional verbose
+// check block, then the separating blank line the legacy renderers ended
+// every claim with.
+func (t Text) encodeClaim(w io.Writer, id string, c *result.Claim) error {
+	tpl, ok := claimText[id]
+	if !ok {
+		return fmt.Errorf("render: no text template for claim %s", id)
+	}
+	v := &claimView{id: id, c: c}
+	tpl(w, v)
+	if v.err != nil {
+		return v.err
+	}
+	if t.Verbose {
+		for _, f := range c.Findings {
+			if f.Check == nil {
+				continue
+			}
+			status := "PASS"
+			if !f.Check.Pass {
+				status = "FAIL"
+			}
+			unit := f.Unit
+			if unit != "" {
+				unit = " " + unit
+			}
+			fmt.Fprintf(w, "  check %-26s %.4g%s vs paper %.4g (±%.0f%%) → %s\n",
+				f.Key, f.Value, unit, f.Check.Paper, f.Check.RelTol*100, status)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// claimView gives the templates typed access to findings by key. A missing
+// key records an error instead of panicking mid-report; the encoder
+// surfaces it after the template runs.
+type claimView struct {
+	id  string
+	c   *result.Claim
+	err error
+}
+
+func (v *claimView) find(key string) result.Finding {
+	f, ok := v.c.Find(key)
+	if !ok && v.err == nil {
+		v.err = fmt.Errorf("render: claim %s: missing finding %q", v.id, key)
+	}
+	return f
+}
+
+// n returns the numeric value of a finding.
+func (v *claimView) n(key string) float64 { return v.find(key).Value }
+
+// i returns the numeric value as an int (counts in the prose).
+func (v *claimView) i(key string) int { return int(v.find(key).Value) }
+
+// s returns the textual value of a finding.
+func (v *claimView) s(key string) string { return v.find(key).Text }
+
+// b returns a boolean finding.
+func (v *claimView) b(key string) bool { return v.find(key).Text == "true" }
+
+// claimText holds the per-claim prose templates. Each template writes the
+// claim's content lines ("\n"-terminated, no trailing blank line — the
+// encoder owns the separator) from the findings alone, preserving the
+// pre-split renderers' exact formats.
+var claimText = map[string]func(io.Writer, *claimView){
+	"c1":  textC1,
+	"c3":  textC3,
+	"c4":  textC4,
+	"c5":  textC5,
+	"c6":  textC6,
+	"c7":  textC7,
+	"c8":  textC8,
+	"c9":  textC9,
+	"c10": textC10,
+	"c12": textC12,
+	"c13": textC13,
+}
+
+func textC1(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C1. Dynamic thermal management (%d nm node)\n", v.i("node_nm"))
+	fmt.Fprintf(w, "  theoretical worst case: %.0f W; effective worst case under DTM: %.0f W (%.0f%% — paper ≈75%%)\n",
+		v.n("theoretical_worst_w"), v.n("effective_worst_w"), v.n("effective_fraction")*100)
+	fmt.Fprintf(w, "  allowable θja relief: +%.0f%% (paper: +33%%)\n", v.n("theta_ja_headroom")*100)
+	fmt.Fprintf(w, "  cooling: %s ($%.0f) vs %s ($%.0f) — %.1f× cheaper\n",
+		v.s("cooling_theoretical_class"), v.n("cooling_theoretical_cost_usd"),
+		v.s("cooling_effective_class"), v.n("cooling_effective_cost_usd"), v.n("cooling_cost_ratio"))
+	fmt.Fprintf(w, "  power virus on the DTM-sized package: peak %.1f °C (limit held), throughput %.0f%%\n",
+		v.n("virus_peak_temp_c"), v.n("virus_throughput")*100)
+	fmt.Fprintf(w, "  65→75 W cooling-cost step at the 1999 point: %.1f× (paper: ~3×)\n", v.n("intel_65_to_75"))
+}
+
+func textC3(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C3. Library optimization at fixed timing (%d gates, %d nm)\n", v.i("gates"), v.i("node_nm"))
+	for i := 0; i < v.i("n_libraries"); i++ {
+		k := fmt.Sprintf("lib%d_", i)
+		fmt.Fprintf(w, "  %-32s power %.3f mW  size %.0f  met=%s\n",
+			v.s(k+"name"), v.n(k+"power_w")*1e3, v.n(k+"size"), v.s(k+"timing_met"))
+	}
+	fmt.Fprintf(w, "  on-the-fly vs coarse library: %.0f%% power saving (paper: 15-22%%); vs rich: %.0f%%\n",
+		v.n("continuous_vs_coarse")*100, v.n("continuous_vs_rich")*100)
+}
+
+func textC4(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C4. Clustered voltage scaling (Vdd,l = %.2f·Vdd,h)\n", v.n("low_vdd_ratio"))
+	fmt.Fprintf(w, "  path utilization: %.0f%% of paths below half the cycle (paper: >50%%)\n", v.n("path_utilization")*100)
+	fmt.Fprintf(w, "  clustered:   %.0f%% of gates at Vdd,l (paper ~75%%), dynamic saving %.0f%% (paper 45-50%%),\n"+
+		"               LC overhead %.1f%% (paper 8-10%%), area +%.0f%% (paper ~15%%), %d LCs, met=%s\n",
+		v.n("clustered_assigned_fraction")*100, v.n("clustered_dynamic_saving")*100,
+		v.n("clustered_lc_overhead")*100, v.n("clustered_area_overhead")*100,
+		v.i("clustered_level_converters"), v.s("clustered_timing_met"))
+	fmt.Fprintf(w, "  unclustered: %.0f%% assigned, saving %.0f%%, LC overhead %.1f%%, %d LCs (clustering ablation)\n",
+		v.n("unclustered_assigned_fraction")*100, v.n("unclustered_dynamic_saving")*100,
+		v.n("unclustered_lc_overhead")*100, v.i("unclustered_level_converters"))
+}
+
+func textC5(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C5. Dual-Vth assignment\n")
+	fmt.Fprintf(w, "  sensitivity-ordered: %.0f%% high-Vth, leakage -%.0f%% (paper 40-80%%), delay +%.1f%%, met=%s\n",
+		v.n("sensitivity_high_vth_fraction")*100, v.n("sensitivity_leakage_saving")*100,
+		v.n("sensitivity_delay_penalty")*100, v.s("sensitivity_timing_met"))
+	fmt.Fprintf(w, "  slack-ordered (ablation): %.0f%% high-Vth, leakage -%.0f%%\n",
+		v.n("slack_high_vth_fraction")*100, v.n("slack_leakage_saving")*100)
+}
+
+func textC6(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C6. Re-sizing vs multi-Vdd (same start netlist)\n")
+	fmt.Fprintf(w, "  resize: size -%.0f%% → dynamic -%.0f%% (sublinearity %.2f — wire cap persists)\n",
+		v.n("resize_size_reduction")*100, v.n("resize_dynamic_saving")*100, v.n("resize_sublinearity"))
+	fmt.Fprintf(w, "  CVS:    %.0f%% assigned → dynamic -%.0f%% (quadratic Vdd leverage)\n",
+		v.n("cvs_assigned_fraction")*100, v.n("cvs_dynamic_saving")*100)
+	fmt.Fprintf(w, "  combined flow: total -%.0f%% (dyn -%.0f%%, leak -%.0f%%), met=%s\n",
+		v.n("combined_total_saving")*100, v.n("combined_dynamic_saving")*100,
+		v.n("combined_leakage_saving")*100, v.s("combined_timing_met"))
+	fmt.Fprintf(w, "  resize-then-CVS: only %.0f%% of gates still tolerate Vdd,l (paper's ordering warning)\n",
+		v.n("assigned_after_resize")*100)
+}
+
+func textC7(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C7. Vdd floor under Pdyn ≥ 10×Pstatic (35 nm, constant-Pstatic policy)\n")
+	fmt.Fprintf(w, "  floor: Vdd = %.2f V (paper ≈0.44 V), dynamic saving %.0f%% (paper 46%%)\n",
+		v.n("vdd_floor"), v.n("dynamic_saving")*100)
+	fmt.Fprintf(w, "  at 0.2 V: delay ×%.2f (paper <1.3×), Pdyn -%.0f%% (paper 89%%), Vth = %.0f mV\n",
+		v.n("at02_delay_norm"), (1-v.n("at02_pdyn_norm"))*100, v.n("at02_vth")*1e3)
+}
+
+func textC8(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C8. ITRS bump plan at 35 nm\n")
+	fmt.Fprintf(w, "  effective power-bump pitch: %.0f µm (paper: 356 µm); attainable: %.0f µm\n",
+		v.n("effective_pitch_m")*1e6, v.n("min_pitch_m")*1e6)
+	fmt.Fprintf(w, "  required rail width: %.0f× Wmin under ITRS counts (paper >2000×, rails %s), %.0f× at min pitch (paper 16×)\n",
+		v.n("itrs_width_over_min"), feasStr(v.b("itrs_feasible")), v.n("min_width_over_min"))
+	fmt.Fprintf(w, "  bump current: %.0f A over %d Vdd bumps = %.2f A/bump vs %.2f A capability → need %d bumps\n",
+		v.n("supply_current_a"), v.i("vdd_bumps"), v.n("per_bump_a"), v.n("capability_a"), v.i("required_bumps"))
+	fmt.Fprintf(w, "  solver check: 1-D ladder/analytic = %.3f (≈1); 2-D all-top-metal bound = %.1f×\n",
+		v.n("ladder_ratio"), v.n("pessimistic_ratio"))
+}
+
+func textC9(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C9. Sleep-mode wakeup transients and MCML (%d nm)\n", v.i("node_nm"))
+	fmt.Fprintf(w, "  MTCMOS block: standby leakage -%.1f%%, active delay +%.1f%%\n",
+		v.n("block_standby_savings")*100, v.n("block_delay_penalty")*100)
+	fmt.Fprintf(w, "  unstaged wakeup of a %.0f A block: droop %.1f%% Vdd at min bump pitch vs %.1f%% under ITRS counts\n",
+		v.n("block_step_a"), v.n("noise_min_pitch_fraction")*100, v.n("noise_itrs_fraction")*100)
+	fmt.Fprintf(w, "  staging required for <10%% droop: %.1f ns (min pitch) vs %.1f ns (ITRS); max instant step %.0f A vs %.0f A\n",
+		v.n("safe_ramp_min_pitch_s")*1e9, v.n("safe_ramp_itrs_s")*1e9,
+		v.n("max_instant_step_min_a"), v.n("max_instant_step_itrs_a"))
+	fmt.Fprintf(w, "  MCML vs CMOS datapath gate (α=0.5): %.2f µW vs %.2f µW, crossover α*=%.2f, di/dt ratio %.3f\n",
+		v.n("mcml_power_w")*1e6, v.n("cmos_power_w")*1e6, v.n("crossover_activity"), v.n("current_ripple_ratio"))
+}
+
+func textC10(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C10. Intra-cell multi-Vth stacks (§3.3, %d nm 2-high NAND pull-down)\n", v.i("node_nm"))
+	labels := []string{"all low Vth", "bottom high", "top high", "all high"}
+	n := v.i("n_assignments")
+	if n > len(labels) {
+		n = len(labels)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("a%d_", i)
+		fmt.Fprintf(w, "  %-12s leakage -%5.1f%%  delay +%5.1f%%\n",
+			labels[i], v.n(k+"leakage_saving")*100, v.n(k+"delay_penalty")*100)
+	}
+	fmt.Fprintf(w, "  best within 10%% delay: %d high-Vth device(s), leakage -%.0f%%\n",
+		v.i("best_high_count"), v.n("best_leakage_saving")*100)
+	fmt.Fprintf(w, "  stack effect: both-off leaks %.2f× a single off device; parking the idle state saves %.0f%%\n",
+		v.n("stack_factor"), v.n("parked_saving")*100)
+}
+
+func textC12(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C12. Tolerable-swing study (the §2.2 \"further study\" — %d nm global route, SNR ≥ 2)\n", v.i("node_nm"))
+	study := func(name, k string) {
+		if !v.b(k + "feasible") {
+			fmt.Fprintf(w, "  %-28s no swing closes (shielding insufficient — the paper's caveat)\n", name)
+			return
+		}
+		alpha := "fails"
+		if v.b(k + "alpha_swing_ok") {
+			alpha = "closes"
+		}
+		fmt.Fprintf(w, "  %-28s min swing %.1f%% of Vdd (energy ×%.2f); Alpha's 10%% swing %s\n",
+			name, v.n(k+"min_swing_frac")*100, v.n(k+"energy_ratio_at_min"), alpha)
+	}
+	study("differential, shielded", "diff_shielded_")
+	study("differential, unshielded", "diff_bare_")
+	study("single-ended, shielded", "se_shielded_")
+	study("single-ended, unshielded", "se_bare_")
+}
+
+func textC13(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "C13. Signaling-primitive planner (conclusion #2's EDA tool, %d nm, %d global routes)\n",
+		v.i("node_nm"), v.i("routes"))
+	fmt.Fprintf(w, "  primitive mix: %d repeated CMOS, %d low-swing, %d differential low-swing\n",
+		v.i("repeated"), v.i("low_swing"), v.i("differential"))
+	fmt.Fprintf(w, "  power: %.2f mW vs %.2f mW all-repeated baseline (-%.0f%%), %.0f routing tracks\n",
+		v.n("total_power_w")*1e3, v.n("baseline_power_w")*1e3, v.n("saving")*100, v.n("total_tracks"))
+}
+
+func feasStr(ok bool) string {
+	if ok {
+		return "feasible"
+	}
+	return "INFEASIBLE on-die"
+}

@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"hash/fnv"
+	"io"
+	"strconv"
+	"sync"
+
+	"nanometer/internal/result"
+)
+
+// cache memoizes computed artifact results for the life of the process,
+// keyed by artifact ID + compute-options hash. Entries are once-cells (the
+// device.ForNode pattern): concurrent renders of the same artifact share
+// one computation, and every encoder — text, JSON, CSV, a future serving
+// layer — reads the same immutable result.
+var cache = new(sync.Map)
+
+type computeCell struct {
+	once sync.Once
+	res  *result.Result
+	err  error
+}
+
+// ComputeCached returns the artifact's typed result, computing it at most
+// once per process for a given compute-options hash. Results are shared and
+// must be treated as immutable by callers. opts.NoCache bypasses the cache
+// entirely.
+func (a Artifact) ComputeCached(opts Options) (*result.Result, error) {
+	if opts.NoCache {
+		return a.compute(opts)
+	}
+	key := a.ID + "\x00" + opts.computeKey()
+	e, _ := cache.LoadOrStore(key, &computeCell{})
+	cell := e.(*computeCell)
+	cell.once.Do(func() {
+		cell.res, cell.err = a.compute(opts)
+	})
+	return cell.res, cell.err
+}
+
+// computeKey hashes the options that reach the models. CSVDir, Plot,
+// Verbose, and NoCache only affect encoding and are deliberately excluded,
+// so every encoding of one artifact shares a single cache entry. No
+// current option reaches the models — the key is a constant today — but
+// any future compute-side option must be written into this hash or the
+// cache will serve stale results.
+func (o Options) computeKey() string {
+	h := fnv.New64a()
+	io.WriteString(h, "compute-v1")
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// resetCache drops every memoized result (tests and benchmarks only).
+func resetCache() { cache = new(sync.Map) }

@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"io"
+	"testing"
+)
+
+func mustOne(tb testing.TB, id string) Artifact {
+	tb.Helper()
+	arts, err := Select([]string{id})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return arts[0]
+}
+
+// TestComputeCachedReturnsSameResult: repeated computes of one artifact in
+// one process share a single result (pointer identity proves the model
+// stack ran once), while NoCache forces a fresh computation.
+func TestComputeCachedReturnsSameResult(t *testing.T) {
+	resetCache()
+	a := mustOne(t, "t2")
+	r1, err := a.ComputeCached(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.ComputeCached(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second ComputeCached recomputed instead of serving the cache")
+	}
+	// Encode-only options must share the compute entry.
+	r3, err := a.ComputeCached(Options{Plot: true, Verbose: true, CSVDir: "zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r3 {
+		t.Fatal("encode-only options must not fork the compute cache")
+	}
+	r4, err := a.ComputeCached(Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r4 {
+		t.Fatal("NoCache must bypass the cache")
+	}
+}
+
+// TestConcurrentRendersShareOneCompute: many concurrent renders of the same
+// artifact race into the once-cell and all observe the same result.
+func TestConcurrentRendersShareOneCompute(t *testing.T) {
+	resetCache()
+	a := mustOne(t, "f2")
+	const n = 16
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- a.Render(io.Discard, Options{}) }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := a.ComputeCached(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := a.ComputeCached(Options{})
+	if r1 != r2 {
+		t.Fatal("cache lost the entry after concurrent renders")
+	}
+}
+
+// BenchmarkArtifactCache demonstrates the warm-cache render path: the first
+// render pays the full model cost, every later render of the same artifact
+// serves the memoized result and only pays for encoding (~0 model work,
+// visible as the allocation gap between cold and warm).
+func BenchmarkArtifactCache(b *testing.B) {
+	a := mustOne(b, "t2")
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resetCache()
+			if err := a.Render(io.Discard, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		resetCache()
+		if err := a.Render(io.Discard, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.Render(io.Discard, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-compute-only", func(b *testing.B) {
+		resetCache()
+		if _, err := a.ComputeCached(Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ComputeCached(Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,8 +1,13 @@
 // Package repro is the artifact registry of the reproduction harness: one
-// renderer per table, figure, and quantified claim of the paper. Each
-// renderer writes its complete textual output to an io.Writer and returns an
-// error instead of aborting the process, so the artifacts can run as
-// independent jobs on the runner pool with deterministic, serially-identical
+// entry per table, figure, and quantified claim of the paper. Each artifact
+// is split into two layers: Compute produces a typed, JSON-serializable
+// result (internal/result) from the model stack, and the encoders of
+// internal/render turn that result into terminal text, JSON, or CSV.
+// Compute is pure and deterministic, so results are memoized in a
+// process-wide cache (artifact ID + compute-options hash) — repeated
+// renders in one process, the shape a serving layer produces, compute each
+// artifact once. Artifacts are independent of each other and safe to run
+// concurrently on the runner pool with deterministic, serially-identical
 // output. cmd/nanorepro is a thin flag-parsing shell around this package;
 // bench_test.go drives the same registry for the full-report speedup
 // measurement.
@@ -11,59 +16,94 @@ package repro
 import (
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"strings"
 
-	"nanometer/internal/experiments"
-	"nanometer/internal/report"
+	"nanometer/internal/render"
+	"nanometer/internal/result"
 	"nanometer/internal/runner"
-	"nanometer/internal/signaling"
 )
 
-// Options configures rendering. The zero value reproduces the plain
-// `nanorepro` run: compact figure dumps, no CSVs.
+// Options configures a run. The zero value reproduces the plain
+// `nanorepro` output: compact figure dumps, no CSVs, cached compute.
 type Options struct {
-	// CSVDir, when non-empty, is the directory figure CSVs are written to.
+	// CSVDir, when non-empty, is the directory figure CSVs are written to
+	// by the text encoder.
 	CSVDir string
 	// Plot renders terminal plots instead of compact figure summaries.
 	Plot bool
-	// Verbose adds extra detail to claim outputs (reserved).
+	// Verbose appends each claim's paper checks to the text output.
 	Verbose bool
+	// NoCache bypasses the process-wide result cache, forcing every
+	// render to recompute (benchmarks, freshness-critical callers).
+	NoCache bool
 }
 
 // Artifact is one reproducible unit: a stable ID (t1, f3, c8, ...), a title
-// for listings, and a renderer. Renderers are independent of each other and
-// safe to run concurrently; every output byte goes through w.
+// for listings, and a compute function producing its typed result.
 type Artifact struct {
-	ID     string
-	Title  string
-	Render func(w io.Writer, opts Options) error
+	ID      string
+	Title   string
+	Compute func(opts Options) (*result.Result, error)
+}
+
+// compute runs the artifact's compute function and stamps the registry
+// identity onto the result, so compute functions stay ignorant of their
+// registration.
+func (a Artifact) compute(opts Options) (*result.Result, error) {
+	res, err := a.Compute(opts)
+	if err != nil {
+		return nil, err
+	}
+	res.ID, res.Title = a.ID, a.Title
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render computes the artifact (through the cache unless opts.NoCache) and
+// encodes it as terminal text — the legacy single-call path.
+func (a Artifact) Render(w io.Writer, opts Options) error {
+	res, err := a.ComputeCached(opts)
+	if err != nil {
+		return err
+	}
+	return textEncoder(opts).Encode(w, res)
+}
+
+func textEncoder(opts Options) render.Text {
+	return render.Text{CSVDir: opts.CSVDir, Plot: opts.Plot, Verbose: opts.Verbose}
+}
+
+// Encoder turns one typed artifact result into bytes. internal/render
+// provides the implementations (Text, JSON, CSV).
+type Encoder interface {
+	Encode(w io.Writer, res *result.Result) error
 }
 
 // Artifacts returns the full registry in canonical emission order.
 func Artifacts() []Artifact {
 	return []Artifact{
-		{"t1", "Table 1: published NMOS devices vs ITRS projections", renderTable1},
-		{"t2", "Table 2: analytical Ioff scaling", renderTable2},
-		{"f1", "Figure 1: Pstatic/Pdynamic vs switching activity", renderFigure1},
-		{"f2", "Figure 2: dual-Vth scaling", renderFigure2},
-		{"f3", "Figure 3: delay vs Vdd under Vth policies", renderFigure3},
-		{"f4", "Figure 4: Pdynamic/Pstatic vs Vdd", renderFigure4},
-		{"f5", "Figure 5: IR-drop scaling", renderFigure5},
-		{"c1", "dynamic thermal management (§2.1)", renderC1},
-		{"c2", "global signaling census and low-swing alternative (§2.2)", renderC2},
-		{"c3", "library optimization at fixed timing (§2.3)", renderC3},
-		{"c4", "clustered voltage scaling (§2.4)", renderC4},
-		{"c5", "dual-Vth assignment (§3.2.2)", renderC5},
-		{"c6", "re-sizing vs multi-Vdd (§3.3)", renderC6},
-		{"c7", "Vdd floor under the ITRS static constraint (§3.3)", renderC7},
-		{"c8", "ITRS bump plan at 35 nm (§4)", renderC8},
-		{"c9", "wakeup transients and MCML (§4)", renderC9},
-		{"c10", "intra-cell multi-Vth stacks (§3.3 close)", renderC10},
-		{"c11", "standby-technique comparison and scalability (§3.2.1)", renderC11},
-		{"c12", "tolerable-swing study (the §2.2 open question)", renderC12},
-		{"c13", "signaling-primitive planner (conclusion #2's EDA tool)", renderC13},
+		{"t1", "Table 1: published NMOS devices vs ITRS projections", computeTable1},
+		{"t2", "Table 2: analytical Ioff scaling", computeTable2},
+		{"f1", "Figure 1: Pstatic/Pdynamic vs switching activity", computeFigure1},
+		{"f2", "Figure 2: dual-Vth scaling", computeFigure2},
+		{"f3", "Figure 3: delay vs Vdd under Vth policies", computeFigure3},
+		{"f4", "Figure 4: Pdynamic/Pstatic vs Vdd", computeFigure4},
+		{"f5", "Figure 5: IR-drop scaling", computeFigure5},
+		{"c1", "dynamic thermal management (§2.1)", computeC1},
+		{"c2", "global signaling census and low-swing alternative (§2.2)", computeC2},
+		{"c3", "library optimization at fixed timing (§2.3)", computeC3},
+		{"c4", "clustered voltage scaling (§2.4)", computeC4},
+		{"c5", "dual-Vth assignment (§3.2.2)", computeC5},
+		{"c6", "re-sizing vs multi-Vdd (§3.3)", computeC6},
+		{"c7", "Vdd floor under the ITRS static constraint (§3.3)", computeC7},
+		{"c8", "ITRS bump plan at 35 nm (§4)", computeC8},
+		{"c9", "wakeup transients and MCML (§4)", computeC9},
+		{"c10", "intra-cell multi-Vth stacks (§3.3 close)", computeC10},
+		{"c11", "standby-technique comparison and scalability (§3.2.1)", computeC11},
+		{"c12", "tolerable-swing study (the §2.2 open question)", computeC12},
+		{"c13", "signaling-primitive planner (conclusion #2's EDA tool)", computeC13},
 	}
 }
 
@@ -99,398 +139,43 @@ func Select(ids []string) ([]Artifact, error) {
 	return sel, nil
 }
 
-// Jobs adapts artifacts to runner jobs with opts bound in.
+// Jobs adapts artifacts to runner jobs rendering the legacy text report
+// with opts bound in.
 func Jobs(arts []Artifact, opts Options) []runner.Job {
+	return EncodeJobs(arts, opts, textEncoder(opts))
+}
+
+// EncodeJobs adapts artifacts to runner jobs that compute (through the
+// cache unless opts.NoCache) and encode with enc.
+func EncodeJobs(arts []Artifact, opts Options, enc Encoder) []runner.Job {
 	jobs := make([]runner.Job, len(arts))
 	for i, a := range arts {
 		a := a
-		jobs[i] = runner.Job{ID: a.ID, Run: func(w io.Writer) error { return a.Render(w, opts) }}
+		jobs[i] = runner.Job{ID: a.ID, Run: func(w io.Writer) error {
+			res, err := a.ComputeCached(opts)
+			if err != nil {
+				return err
+			}
+			return enc.Encode(w, res)
+		}}
 	}
 	return jobs
 }
 
-// emitFigure writes the figure (plot or compact endpoint summary) and, when
-// requested, its CSV. A CSV failure is returned after the textual output so
-// the artifact still shows its data; the caller's error aggregation reports
-// the broken file.
-func emitFigure(w io.Writer, fig *report.Figure, name string, opts Options) error {
-	if opts.Plot {
-		fig.RenderASCII(w, 72, 18)
-		fmt.Fprintln(w)
-	} else {
-		// Compact textual dump: endpoint summary per series.
-		fmt.Fprintf(w, "%s\n", fig.Title)
-		for _, s := range fig.Series {
-			if len(s.X) == 0 {
-				continue
-			}
-			fmt.Fprintf(w, "  %-40s (%.3g, %.3g) → (%.3g, %.3g), %d pts\n",
-				s.Name, s.X[0], s.Y[0], s.X[len(s.X)-1], s.Y[len(s.Y)-1], len(s.X))
-		}
-		fmt.Fprintln(w)
+// ComputeAll computes the artifacts on the pool without encoding anything,
+// returning the results in registry order. A failed artifact leaves a nil
+// slot; the per-artifact failures are aggregated in the returned error and
+// the healthy results are still usable.
+func ComputeAll(pool runner.Pool, arts []Artifact, opts Options) ([]*result.Result, error) {
+	out := make([]*result.Result, len(arts))
+	jobs := make([]runner.Job, len(arts))
+	for i, a := range arts {
+		i, a := i, a
+		jobs[i] = runner.Job{ID: a.ID, Run: func(io.Writer) error {
+			res, err := a.ComputeCached(opts)
+			out[i] = res
+			return err
+		}}
 	}
-	if opts.CSVDir == "" {
-		return nil
-	}
-	path := filepath.Join(opts.CSVDir, name+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	if err := fig.WriteCSV(f); err != nil {
-		f.Close()
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	fmt.Fprintf(w, "  wrote %s\n\n", path)
-	return nil
-}
-
-// --- Tables -------------------------------------------------------------------
-
-func renderTable1(w io.Writer, _ Options) error {
-	_, err := experiments.Table1Report().WriteTo(w)
-	return err
-}
-
-func renderTable2(w io.Writer, _ Options) error {
-	t, err := experiments.Table2Report()
-	if err != nil {
-		return err
-	}
-	_, err = t.WriteTo(w)
-	return err
-}
-
-// --- Figures ------------------------------------------------------------------
-
-func renderFigure1(w io.Writer, opts Options) error {
-	fig, err := experiments.Figure1(nil)
-	if err != nil {
-		return err
-	}
-	return emitFigure(w, fig, "figure1", opts)
-}
-
-func renderFigure2(w io.Writer, opts Options) error {
-	rows, err := experiments.Figure2()
-	if err != nil {
-		return err
-	}
-	t := &report.Table{
-		Title:   "Figure 2 (as data). Dual-Vth scaling",
-		Headers: []string{"node (nm)", "Ion gain @ -100mV Vth", "Ioff × @ -100mV", "Ioff × for +20% Ion", "ΔVth for +20% (mV)"},
-	}
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.NodeNM),
-			fmt.Sprintf("%.1f%%", r.IonGainPct),
-			fmt.Sprintf("%.1f", r.IoffX100mV),
-			fmt.Sprintf("%.1f", r.IoffXFor20PctIon),
-			fmt.Sprintf("%.0f", r.DeltaVthFor20Pct*1e3))
-	}
-	t.Notes = append(t.Notes, "paper: Ioff penalty for +20% Ion falls from 54× \"today\" to 7× at 35 nm; 100 mV ⇒ ~15× Ioff throughout")
-	if _, err := t.WriteTo(w); err != nil {
-		return err
-	}
-	return emitFigure(w, experiments.Figure2Figure(rows), "figure2", opts)
-}
-
-// Figures 3 and 4 share one supply sweep; as independent jobs each re-runs
-// the sweep (cheap) so neither depends on the other's completion.
-
-func renderFigure3(w io.Writer, opts Options) error {
-	fig3, _, err := experiments.Figure3And4(nil)
-	if err != nil {
-		return err
-	}
-	return emitFigure(w, fig3, "figure3", opts)
-}
-
-func renderFigure4(w io.Writer, opts Options) error {
-	_, fig4, err := experiments.Figure3And4(nil)
-	if err != nil {
-		return err
-	}
-	return emitFigure(w, fig4, "figure4", opts)
-}
-
-func renderFigure5(w io.Writer, opts Options) error {
-	rows, err := experiments.Figure5()
-	if err != nil {
-		return err
-	}
-	t := &report.Table{
-		Title:   "Figure 5 (as data). IR-drop scaling",
-		Headers: []string{"node (nm)", "min pitch (µm)", "W/Wmin", "%routing", "ITRS pitch (µm)", "W/Wmin", "%routing"},
-	}
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.NodeNM),
-			fmt.Sprintf("%.0f", r.MinPitchM*1e6),
-			fmt.Sprintf("%.1f", r.MinWidthOverMin),
-			fmt.Sprintf("%.1f%%", r.MinRoutingFraction*100),
-			fmt.Sprintf("%.0f", r.ITRSPitchM*1e6),
-			fmt.Sprintf("%.0f", r.ITRSWidthOverMin),
-			fmt.Sprintf("%.1f%%", r.ITRSRoutingFraction*100))
-	}
-	t.Notes = append(t.Notes, "paper: 16× Wmin (<4% routing + 16% pads) at 35 nm minimum pitch; >2000× under ITRS bump counts")
-	if _, err := t.WriteTo(w); err != nil {
-		return err
-	}
-	return emitFigure(w, experiments.Figure5Figure(rows), "figure5", opts)
-}
-
-// --- Claims -------------------------------------------------------------------
-
-func renderC1(w io.Writer, _ Options) error {
-	r, err := experiments.DTM(50)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C1. Dynamic thermal management (50 nm node)\n")
-	fmt.Fprintf(w, "  theoretical worst case: %.0f W; effective worst case under DTM: %.0f W (%.0f%% — paper ≈75%%)\n",
-		r.TheoreticalWorstW, r.EffectiveWorstW, r.EffectiveFraction*100)
-	fmt.Fprintf(w, "  allowable θja relief: +%.0f%% (paper: +33%%)\n", r.ThetaJAHeadroom*100)
-	fmt.Fprintf(w, "  cooling: %s ($%.0f) vs %s ($%.0f) — %.1f× cheaper\n",
-		r.CostTheoretical.Class, r.CostTheoretical.CostUSD,
-		r.CostEffective.Class, r.CostEffective.CostUSD, r.CostRatio)
-	fmt.Fprintf(w, "  power virus on the DTM-sized package: peak %.1f °C (limit held), throughput %.0f%%\n",
-		r.VirusPeakTempC, r.VirusThroughput*100)
-	fmt.Fprintf(w, "  65→75 W cooling-cost step at the 1999 point: %.1f× (paper: ~3×)\n\n", r.Intel65to75)
-	return nil
-}
-
-func renderC2(w io.Writer, _ Options) error {
-	rows, err := experiments.Signaling()
-	if err != nil {
-		return err
-	}
-	t := &report.Table{
-		Title: "C2. Global signaling: repeated CMOS census vs differential low-swing",
-		Headers: []string{"node", "repeaters", "P (W)", "area", "cyc/edge scaled", "unscaled",
-			"diff E ratio", "diff P (W)", "tracks", "diff SNR", "di/dt ratio"},
-	}
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.NodeNM),
-			fmt.Sprintf("%d", r.Repeaters),
-			fmt.Sprintf("%.1f", r.SignalingPowerW),
-			fmt.Sprintf("%.1f%%", r.RepeaterAreaFraction*100),
-			fmt.Sprintf("%.1f", r.ScaledCycles),
-			fmt.Sprintf("%.1f", r.UnscaledCycles),
-			fmt.Sprintf("%.2f", r.DiffEnergyRatio),
-			fmt.Sprintf("%.1f", r.DiffPowerW),
-			fmt.Sprintf("%.2f", r.DiffTrackRatio),
-			fmt.Sprintf("%.1f", r.DiffSNR),
-			fmt.Sprintf("%.3f", r.PeakCurrentRatio))
-	}
-	t.Notes = append(t.Notes,
-		"paper: ~10⁴ repeaters at 180 nm → ~10⁶ at 50 nm; >50 W; Alpha 21264 buses at 10% swing",
-		"per [9]: unscaled top-level wiring keeps the die reachable in a few cycles at ITRS clocks")
-	_, err = t.WriteTo(w)
-	return err
-}
-
-func renderC3(w io.Writer, _ Options) error {
-	r, err := experiments.RunLibrary(experiments.DefaultCircuitSetup())
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C3. Library optimization at fixed timing (%d gates, %d nm)\n", r.Setup.Gates, r.Setup.NodeNM)
-	for _, res := range r.Results {
-		fmt.Fprintf(w, "  %-32s power %.3f mW  size %.0f  met=%v\n",
-			res.Library.Name, res.Power.TotalW()*1e3, res.TotalSize, res.TimingMet)
-	}
-	fmt.Fprintf(w, "  on-the-fly vs coarse library: %.0f%% power saving (paper: 15-22%%); vs rich: %.0f%%\n\n",
-		r.ContinuousVsCoarse*100, r.ContinuousVsRich*100)
-	return nil
-}
-
-func renderC4(w io.Writer, _ Options) error {
-	r, err := experiments.RunCVS(experiments.DefaultCircuitSetup())
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C4. Clustered voltage scaling (Vdd,l = %.2f·Vdd,h)\n", r.Setup.LowVddRatio)
-	fmt.Fprintf(w, "  path utilization: %.0f%% of paths below half the cycle (paper: >50%%)\n", r.PathUtilization*100)
-	c := r.Clustered
-	fmt.Fprintf(w, "  clustered:   %.0f%% of gates at Vdd,l (paper ~75%%), dynamic saving %.0f%% (paper 45-50%%),\n"+
-		"               LC overhead %.1f%% (paper 8-10%%), area +%.0f%% (paper ~15%%), %d LCs, met=%v\n",
-		c.AssignedFraction*100, c.DynamicSaving*100, c.LCOverheadFraction*100,
-		c.AreaOverhead*100, c.LevelConverters, c.TimingMet)
-	u := r.Unclustered
-	fmt.Fprintf(w, "  unclustered: %.0f%% assigned, saving %.0f%%, LC overhead %.1f%%, %d LCs (clustering ablation)\n\n",
-		u.AssignedFraction*100, u.DynamicSaving*100, u.LCOverheadFraction*100, u.LevelConverters)
-	return nil
-}
-
-func renderC5(w io.Writer, _ Options) error {
-	r, err := experiments.RunDualVth(experiments.DefaultCircuitSetup())
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C5. Dual-Vth assignment\n")
-	fmt.Fprintf(w, "  sensitivity-ordered: %.0f%% high-Vth, leakage -%.0f%% (paper 40-80%%), delay +%.1f%%, met=%v\n",
-		r.Sensitivity.HighVthFraction*100, r.Sensitivity.LeakageSaving*100,
-		r.Sensitivity.DelayPenalty*100, r.Sensitivity.TimingMet)
-	fmt.Fprintf(w, "  slack-ordered (ablation): %.0f%% high-Vth, leakage -%.0f%%\n\n",
-		r.SlackOrdered.HighVthFraction*100, r.SlackOrdered.LeakageSaving*100)
-	return nil
-}
-
-func renderC6(w io.Writer, _ Options) error {
-	r, err := experiments.RunResizeVsVdd(experiments.DefaultCircuitSetup())
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C6. Re-sizing vs multi-Vdd (same start netlist)\n")
-	fmt.Fprintf(w, "  resize: size -%.0f%% → dynamic -%.0f%% (sublinearity %.2f — wire cap persists)\n",
-		r.Resize.SizeReduction*100, r.Resize.DynamicSaving*100, r.Resize.Sublinearity)
-	fmt.Fprintf(w, "  CVS:    %.0f%% assigned → dynamic -%.0f%% (quadratic Vdd leverage)\n",
-		r.CVSOnSame.AssignedFraction*100, r.CVSOnSame.DynamicSaving*100)
-	fmt.Fprintf(w, "  combined flow: total -%.0f%% (dyn -%.0f%%, leak -%.0f%%), met=%v\n",
-		r.Combined.TotalSaving*100, r.Combined.DynamicSaving*100, r.Combined.LeakageSaving*100, r.Combined.TimingMet)
-	fmt.Fprintf(w, "  resize-then-CVS: only %.0f%% of gates still tolerate Vdd,l (paper's ordering warning)\n\n",
-		r.AssignedAfterResize*100)
-	return nil
-}
-
-func renderC7(w io.Writer, _ Options) error {
-	r, err := experiments.RunVddFloor()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C7. Vdd floor under Pdyn ≥ 10×Pstatic (35 nm, constant-Pstatic policy)\n")
-	fmt.Fprintf(w, "  floor: Vdd = %.2f V (paper ≈0.44 V), dynamic saving %.0f%% (paper 46%%)\n",
-		r.Vdd, r.Savings*100)
-	fmt.Fprintf(w, "  at 0.2 V: delay ×%.2f (paper <1.3×), Pdyn -%.0f%% (paper 89%%), Vth = %.0f mV\n\n",
-		r.At02V.DelayNorm, (1-r.At02V.PdynNorm)*100, r.At02V.Vth*1e3)
-	return nil
-}
-
-func renderC8(w io.Writer, _ Options) error {
-	r, err := experiments.RunBumps()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C8. ITRS bump plan at 35 nm\n")
-	fmt.Fprintf(w, "  effective power-bump pitch: %.0f µm (paper: 356 µm); attainable: %.0f µm\n",
-		r.EffectivePitchM*1e6, r.MinPitchM*1e6)
-	fmt.Fprintf(w, "  required rail width: %.0f× Wmin under ITRS counts (paper >2000×, rails %s), %.0f× at min pitch (paper 16×)\n",
-		r.ITRSWidthOverMin, feasStr(r.ITRSFeasible), r.MinWidthOverMin)
-	fmt.Fprintf(w, "  bump current: %.0f A over %d Vdd bumps = %.2f A/bump vs %.2f A capability → need %d bumps\n",
-		r.Current.SupplyCurrentA, r.Current.VddBumps, r.Current.PerBumpA, r.Current.CapabilityA, r.Current.RequiredBumps)
-	fmt.Fprintf(w, "  solver check: 1-D ladder/analytic = %.3f (≈1); 2-D all-top-metal bound = %.1f×\n\n",
-		r.LadderRatio, r.PessimisticRatio)
-	return nil
-}
-
-func renderC9(w io.Writer, _ Options) error {
-	r, err := experiments.RunTransients()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C9. Sleep-mode wakeup transients and MCML (35 nm)\n")
-	fmt.Fprintf(w, "  MTCMOS block: standby leakage -%.1f%%, active delay +%.1f%%\n",
-		r.BlockStandbySavings*100, r.BlockDelayPenalty*100)
-	fmt.Fprintf(w, "  unstaged wakeup of a %.0f A block: droop %.1f%% Vdd at min bump pitch vs %.1f%% under ITRS counts\n",
-		r.BlockStepA, r.NoiseMinPitch.NoiseFraction*100, r.NoiseITRS.NoiseFraction*100)
-	fmt.Fprintf(w, "  staging required for <10%% droop: %.1f ns (min pitch) vs %.1f ns (ITRS); max instant step %.0f A vs %.0f A\n",
-		r.SafeRampMinPitchS*1e9, r.SafeRampITRSS*1e9, r.MaxInstantStepMinA, r.MaxInstantStepITRSA)
-	fmt.Fprintf(w, "  MCML vs CMOS datapath gate (α=0.5): %.2f µW vs %.2f µW, crossover α*=%.2f, di/dt ratio %.3f\n\n",
-		r.MCML.McmlPowerW*1e6, r.MCML.CmosPowerW*1e6, r.MCML.CrossoverActivity, r.MCML.CurrentRippleRatio)
-	return nil
-}
-
-func renderC10(w io.Writer, _ Options) error {
-	r, err := experiments.RunStackVth(70)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C10. Intra-cell multi-Vth stacks (§3.3, %d nm 2-high NAND pull-down)\n", r.NodeNM)
-	labels := []string{"all low Vth", "bottom high", "top high", "all high"}
-	for i, a := range r.Assignments {
-		fmt.Fprintf(w, "  %-12s leakage -%5.1f%%  delay +%5.1f%%\n", labels[i], a.LeakageSaving*100, a.DelayPenalty*100)
-	}
-	fmt.Fprintf(w, "  best within 10%% delay: %d high-Vth device(s), leakage -%.0f%%\n",
-		r.Best.HighCount(), r.Best.LeakageSaving*100)
-	fmt.Fprintf(w, "  stack effect: both-off leaks %.2f× a single off device; parking the idle state saves %.0f%%\n\n",
-		r.StackFactor, r.ParkedSaving*100)
-	return nil
-}
-
-func renderC11(w io.Writer, _ Options) error {
-	r, err := experiments.RunStandby()
-	if err != nil {
-		return err
-	}
-	t := &report.Table{
-		Title:   "C11. Standby-leakage techniques (§3.2.1), 180 nm vs 35 nm",
-		Headers: []string{"technique", "standby@180", "standby@35", "active", "delay", "area", "scales?"},
-	}
-	for i, a := range r.At35 {
-		b := r.At180[i]
-		scal := "yes"
-		if !a.Scalable {
-			scal = "NO"
-		}
-		t.AddRow(a.Technique.String(),
-			fmt.Sprintf("-%.1f%%", b.StandbyReduction*100),
-			fmt.Sprintf("-%.1f%%", a.StandbyReduction*100),
-			fmt.Sprintf("-%.1f%%", a.ActiveReduction*100),
-			fmt.Sprintf("+%.1f%%", a.DelayPenalty*100),
-			fmt.Sprintf("+%.1f%%", a.AreaOverhead*100),
-			scal)
-	}
-	t.Notes = append(t.Notes,
-		"paper: body-bias-controlled Vth \"does not scale well\"; dual-Vth is the only technique in current high-end MPUs",
-		fmt.Sprintf("non-scalable at 35 nm: %v", r.NonScalableAt35()))
-	_, err = t.WriteTo(w)
-	return err
-}
-
-func renderC12(w io.Writer, _ Options) error {
-	r, err := experiments.RunSwingStudy(50)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C12. Tolerable-swing study (the §2.2 \"further study\" — %d nm global route, SNR ≥ 2)\n", r.NodeNM)
-	print := func(name string, st signaling.SwingStudy) {
-		if !st.Feasible {
-			fmt.Fprintf(w, "  %-28s no swing closes (shielding insufficient — the paper's caveat)\n", name)
-			return
-		}
-		alpha := "fails"
-		if st.AlphaSwingOK {
-			alpha = "closes"
-		}
-		fmt.Fprintf(w, "  %-28s min swing %.1f%% of Vdd (energy ×%.2f); Alpha's 10%% swing %s\n",
-			name, st.MinSwingFrac*100, st.EnergyRatioAtMin, alpha)
-	}
-	print("differential, shielded", r.DiffShielded)
-	print("differential, unshielded", r.DiffBare)
-	print("single-ended, shielded", r.SEShielded)
-	print("single-ended, unshielded", r.SEBare)
-	fmt.Fprintln(w)
-	return nil
-}
-
-func renderC13(w io.Writer, _ Options) error {
-	r, err := experiments.RunBusPlan(50)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "C13. Signaling-primitive planner (conclusion #2's EDA tool, %d nm, 48 global routes)\n", r.NodeNM)
-	fmt.Fprintf(w, "  primitive mix: %d repeated CMOS, %d low-swing, %d differential low-swing\n",
-		r.Repeated, r.LowSwing, r.Differential)
-	fmt.Fprintf(w, "  power: %.2f mW vs %.2f mW all-repeated baseline (-%.0f%%), %.0f routing tracks\n\n",
-		r.Plan.TotalPowerW*1e3, r.Plan.BaselinePowerW*1e3, r.Plan.Saving*100, r.Plan.TotalTracks)
-	return nil
-}
-
-func feasStr(ok bool) string {
-	if ok {
-		return "feasible"
-	}
-	return "INFEASIBLE on-die"
+	return out, runner.Errs(pool.Run(jobs))
 }

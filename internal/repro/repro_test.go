@@ -3,12 +3,12 @@ package repro
 import (
 	"bytes"
 	"errors"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"nanometer/internal/result"
 	"nanometer/internal/runner"
 )
 
@@ -130,17 +130,21 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
-// sanity: renderers must not write to anything but w (no stray os.Stdout
+// sanity: artifacts must not write to anything but w (no stray os.Stdout
 // prints), which the byte-identity test can't see. Render one artifact and
 // confirm output lands only in the buffer.
 func TestRenderersWriteOnlyToWriter(t *testing.T) {
 	for _, a := range Artifacts() {
-		if a.Render == nil {
-			t.Fatalf("%s has no renderer", a.ID)
+		if a.Compute == nil {
+			t.Fatalf("%s has no compute function", a.ID)
 		}
 	}
+	arts, err := Select([]string{"c7"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := renderC7(&buf, Options{}); err != nil {
+	if err := arts[0].Render(&buf, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "C7.") {
@@ -150,15 +154,29 @@ func TestRenderersWriteOnlyToWriter(t *testing.T) {
 
 var errSentinel = errors.New("sentinel")
 
+// fakeArtifact computes a one-table result whose title is the artifact's
+// payload marker, failing with err when set.
+func fakeArtifact(id, marker string, err error) Artifact {
+	return Artifact{ID: id, Title: id, Compute: func(Options) (*result.Result, error) {
+		if err != nil {
+			return nil, err
+		}
+		res := &result.Result{}
+		res.AddTable(&result.Table{Title: marker, Headers: []string{"x"}})
+		return res, nil
+	}}
+}
+
 // TestJobsBindOptions: Jobs must close over each artifact independently (the
-// classic range-variable trap would render the last artifact N times).
+// classic range-variable trap would render the last artifact N times), and
+// per-artifact compute errors must reach the job results.
 func TestJobsBindOptions(t *testing.T) {
 	arts := []Artifact{
-		{ID: "a", Render: func(w io.Writer, _ Options) error { w.Write([]byte("A")); return nil }},
-		{ID: "b", Render: func(w io.Writer, _ Options) error { w.Write([]byte("B")); return errSentinel }},
+		fakeArtifact("fake-a", "marker-A", nil),
+		fakeArtifact("fake-b", "marker-B", errSentinel),
 	}
 	results := (runner.Pool{Workers: 2}).Run(Jobs(arts, Options{}))
-	if string(results[0].Output) != "A" || string(results[1].Output) != "B" {
+	if !strings.Contains(string(results[0].Output), "marker-A") || len(results[1].Output) != 0 {
 		t.Fatalf("outputs %q, %q", results[0].Output, results[1].Output)
 	}
 	if results[0].Err != nil || !errors.Is(results[1].Err, errSentinel) {
