@@ -4,9 +4,18 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench bench-mesh bench-report
+.PHONY: all build test race vet verify bench bench-all bench-mesh bench-report
 
 all: verify
+
+# The PR's committed benchmark evidence: run the solver/report benchmarks
+# and write machine-readable numbers (ns/op, allocs/op, solver iterations,
+# GOMAXPROCS) with the seed baseline embedded for before/after diffing.
+BENCH_OUT ?= BENCH_3.json
+BENCH_BASELINE ?= bench_seed.json
+
+bench:
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASELINE)
 
 build:
 	$(GO) build ./...
@@ -23,12 +32,13 @@ race:
 verify: vet build race
 
 # All benchmarks: every artifact end to end + ablations + solver kernels +
-# the parallel full-report speedup (bench_test.go).
-bench:
+# the parallel full-report speedup (bench_test.go), raw text output.
+bench-all:
 	$(GO) test -bench=. -run='^$$' -benchmem .
 
-# The hot IR-drop kernel: seed-style allocating CG vs workspace CG (what
-# powergrid.Mesh.Solve runs) vs Jacobi PCG.
+# The hot IR-drop kernel: seed-style allocating CG vs workspace CG vs
+# Jacobi PCG vs the multigrid-preconditioned production path
+# (powergrid.Mesh.Solve), at n = 63 and 255.
 bench-mesh:
 	$(GO) test -bench='BenchmarkMeshSolve' -run='^$$' -benchmem .
 

@@ -466,51 +466,57 @@ func meshLaplacian(n int) (*mathx.SparseMatrix, []float64) {
 	return m, b
 }
 
-// BenchmarkMeshSolve compares the solver variants on the IR-drop kernel:
-// allocating CG (the seed behaviour), CG on a reused workspace (what
-// powergrid.Mesh.Solve now runs — zero allocs), and Jacobi PCG (on par in
-// iterations here because the mesh diagonal is near-constant; it wins on
-// badly scaled grids). Iterations are reported per variant.
+// BenchmarkMeshSolve compares the solver variants on the IR-drop kernel at
+// two grid sizes: allocating CG (the seed behaviour), CG on a reused
+// workspace, Jacobi PCG (on par in iterations here because the mesh
+// diagonal is near-constant), and the production path — frozen CSR with a
+// multigrid V-cycle preconditioner (near-constant iterations in n, zero
+// allocations warm). Iterations are reported per variant; the Krylov
+// variants grow O(n) while MG-workspace stays flat, which is what makes
+// n = 255 affordable.
 func BenchmarkMeshSolve(b *testing.B) {
-	m, rhs := meshLaplacian(63)
-	b.Run("CG", func(b *testing.B) {
-		b.ReportAllocs()
-		iters := 0
-		for i := 0; i < b.N; i++ {
+	for _, n := range []int{63, 255} {
+		m, rhs := meshLaplacian(n)
+		frozen, _ := meshLaplacian(n)
+		frozen.Freeze()
+		mg, err := mathx.NewMeshMG(n, (n/2)*n+n/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(name string, solve func(b *testing.B) (int, error)) {
+			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
+				b.ReportAllocs()
+				iters := 0
+				for i := 0; i < b.N; i++ {
+					it, err := solve(b)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters = it
+				}
+				b.ReportMetric(float64(iters), "iters")
+			})
+		}
+		run("CG", func(b *testing.B) (int, error) {
 			_, it, err := m.SolveCG(rhs, 1e-10, 20*m.N)
-			if err != nil {
-				b.Fatal(err)
-			}
-			iters = it
-		}
-		b.ReportMetric(float64(iters), "iters")
-	})
-	b.Run("CG-workspace", func(b *testing.B) {
-		var ws mathx.Workspace
-		b.ReportAllocs()
-		iters := 0
-		for i := 0; i < b.N; i++ {
-			_, it, err := m.SolveCGW(&ws, rhs, 1e-10, 20*m.N)
-			if err != nil {
-				b.Fatal(err)
-			}
-			iters = it
-		}
-		b.ReportMetric(float64(iters), "iters")
-	})
-	b.Run("PCG-workspace", func(b *testing.B) {
-		var ws mathx.Workspace
-		b.ReportAllocs()
-		iters := 0
-		for i := 0; i < b.N; i++ {
-			_, it, err := m.SolvePCGW(&ws, rhs, 1e-10, 20*m.N)
-			if err != nil {
-				b.Fatal(err)
-			}
-			iters = it
-		}
-		b.ReportMetric(float64(iters), "iters")
-	})
+			return it, err
+		})
+		var wsCG mathx.Workspace
+		run("CG-workspace", func(b *testing.B) (int, error) {
+			_, it, err := m.SolveCGW(&wsCG, rhs, 1e-10, 20*m.N)
+			return it, err
+		})
+		var wsPCG mathx.Workspace
+		run("PCG-workspace", func(b *testing.B) (int, error) {
+			_, it, err := m.SolvePCGW(&wsPCG, rhs, 1e-10, 20*m.N)
+			return it, err
+		})
+		var wsMG mathx.Workspace
+		run("MG-workspace", func(b *testing.B) (int, error) {
+			_, it, err := frozen.SolveMGW(&wsMG, mg, rhs, 1e-10, 20*frozen.N)
+			return it, err
+		})
+	}
 }
 
 // BenchmarkMeshSolveGrid runs the full powergrid path (assembly + pooled

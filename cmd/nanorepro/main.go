@@ -48,6 +48,7 @@ var (
 	plot    = flag.Bool("plot", false, "render terminal plots for figures (text format)")
 	verbose = flag.Bool("v", false, "append each claim's paper checks (text format)")
 	jobs    = flag.Int("jobs", runtime.NumCPU(), "max artifacts computed concurrently (output is identical for any value)")
+	meshN   = flag.Int("mesh-n", 0, "power-grid validation mesh nodes per side for c8 (0 = default 41; larger grids refine the 2-D bound)")
 )
 
 func main() {
@@ -66,7 +67,7 @@ func main() {
 		fatal(fmt.Errorf("-csv, -plot, and -v only apply to -format text"))
 	}
 	pool := runner.Pool{Workers: *jobs}
-	opts := repro.Options{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose}
+	opts := repro.Options{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose, MeshN: *meshN}
 
 	switch *format {
 	case "text":

@@ -57,8 +57,24 @@ type BumpsResult struct {
 	LadderRatio, PessimisticRatio float64
 }
 
-// RunBumps runs the C8 analysis at 35 nm.
+// DefaultMeshN is the 2-D mesh discretization RunBumps uses: fine enough
+// that the smeared-mesh bound is converged at report precision, small
+// enough to stay cheap. RunBumpsN overrides it.
+const DefaultMeshN = 41
+
+// RunBumps runs the C8 analysis at 35 nm with the default mesh size.
 func RunBumps() (*BumpsResult, error) {
+	return RunBumpsN(DefaultMeshN)
+}
+
+// RunBumpsN runs the C8 analysis at 35 nm with an n×n validation mesh
+// (n ≤ 0 selects DefaultMeshN). The multigrid-preconditioned mesh solver
+// keeps iteration counts near-constant in n, so refinement sweeps (129,
+// 255, ...) stay close to linear in node count.
+func RunBumpsN(meshN int) (*BumpsResult, error) {
+	if meshN <= 0 {
+		meshN = DefaultMeshN
+	}
 	node := itrs.MustNode(35)
 	minSpec := powergrid.DefaultSpec(node, node.BumpPitchMinM)
 	itrsSpec := powergrid.DefaultSpec(node, node.EffectiveBumpPitchM())
@@ -74,7 +90,7 @@ func RunBumps() (*BumpsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mesh, err := powergrid.PessimisticRatio(minSpec, 41)
+	mesh, err := powergrid.PessimisticRatio(minSpec, meshN)
 	if err != nil {
 		return nil, err
 	}

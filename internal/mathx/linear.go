@@ -70,12 +70,26 @@ func SolveDense(a [][]float64, b []float64) ([]float64, error) {
 }
 
 // SparseMatrix is a simple row-compressed symmetric-positive-definite-ish
-// sparse matrix for the resistive-mesh solvers. Entries are stored per row.
+// sparse matrix for the resistive-mesh solvers. It has two phases:
+// assembly, where Add accumulates entries into per-row slices (linear scan —
+// mesh rows carry ≤ 4 off-diagonals), and frozen, after Freeze flattens the
+// rows into a single CSR backing array for cache-friendly MulVec. Add on a
+// frozen matrix panics: appending into the flattened arrays would silently
+// corrupt neighbouring rows.
 type SparseMatrix struct {
 	N    int
 	cols [][]int32
 	vals [][]float64
 	diag []float64
+
+	// Frozen CSR layout: row r occupies fcols/fvals[rowPtr[r]:rowPtr[r+1]]
+	// in the row's original insertion order (so frozen MulVec sums in the
+	// exact same order as assembly MulVec — bit-identical results). The
+	// diagonal stays in diag.
+	frozen bool
+	rowPtr []int32
+	fcols  []int32
+	fvals  []float64
 }
 
 // NewSparseMatrix creates an empty n×n sparse matrix.
@@ -88,8 +102,56 @@ func NewSparseMatrix(n int) *SparseMatrix {
 	}
 }
 
+// NewFrozenCSR wraps pre-built CSR arrays as an already-frozen matrix
+// without copying: rowPtr has length n+1, cols/vals length rowPtr[n] hold
+// the off-diagonals, diag length n the diagonal. Callers that cache a
+// sparsity pattern (the power-grid mesh) share rowPtr/cols across instances
+// and refill only vals/diag.
+func NewFrozenCSR(n int, rowPtr, cols []int32, vals, diag []float64) (*SparseMatrix, error) {
+	switch {
+	case n < 0 || len(rowPtr) != n+1 || len(diag) != n:
+		return nil, fmt.Errorf("mathx: bad CSR shape (n=%d, rowPtr=%d, diag=%d)", n, len(rowPtr), len(diag))
+	case len(cols) != int(rowPtr[n]) || len(vals) != int(rowPtr[n]):
+		return nil, fmt.Errorf("mathx: CSR nnz mismatch (rowPtr[n]=%d, cols=%d, vals=%d)", rowPtr[n], len(cols), len(vals))
+	}
+	return &SparseMatrix{N: n, diag: diag, frozen: true, rowPtr: rowPtr, fcols: cols, fvals: vals}, nil
+}
+
+// Freeze seals assembly and flattens the per-row slices into one contiguous
+// CSR backing array. MulVec afterwards streams rowPtr/fcols/fvals linearly
+// (and in parallel row blocks on large systems) instead of chasing n row
+// headers; results are bit-identical because each row keeps its insertion
+// order. Freeze is idempotent; Add after Freeze panics.
+func (s *SparseMatrix) Freeze() {
+	if s.frozen {
+		return
+	}
+	nnz := 0
+	for _, c := range s.cols {
+		nnz += len(c)
+	}
+	s.rowPtr = make([]int32, s.N+1)
+	s.fcols = make([]int32, 0, nnz)
+	s.fvals = make([]float64, 0, nnz)
+	for r := 0; r < s.N; r++ {
+		s.rowPtr[r] = int32(len(s.fcols))
+		s.fcols = append(s.fcols, s.cols[r]...)
+		s.fvals = append(s.fvals, s.vals[r]...)
+	}
+	s.rowPtr[s.N] = int32(len(s.fcols))
+	s.cols, s.vals = nil, nil // assembly storage is dead; release it
+	s.frozen = true
+}
+
+// Frozen reports whether the matrix has been sealed by Freeze.
+func (s *SparseMatrix) Frozen() bool { return s.frozen }
+
 // Add accumulates v into entry (r, c). Diagonal entries are kept separately.
+// Panics if the matrix has been frozen — the CSR arrays cannot grow.
 func (s *SparseMatrix) Add(r, c int, v float64) {
+	if s.frozen {
+		panic("mathx: Add on frozen SparseMatrix (assembly is sealed after Freeze)")
+	}
 	if r == c {
 		s.diag[r] += v
 		return
@@ -105,12 +167,44 @@ func (s *SparseMatrix) Add(r, c int, v float64) {
 	s.vals[r] = append(s.vals[r], v)
 }
 
-// MulVec computes y = A·x.
+// row returns the off-diagonal columns and values of row r in either phase.
+func (s *SparseMatrix) row(r int) ([]int32, []float64) {
+	if s.frozen {
+		lo, hi := s.rowPtr[r], s.rowPtr[r+1]
+		return s.fcols[lo:hi], s.fvals[lo:hi]
+	}
+	return s.cols[r], s.vals[r]
+}
+
+// MulVec computes y = A·x. On a frozen matrix the rows stream from the flat
+// CSR arrays and split across row blocks when the system is large and
+// GOMAXPROCS > 1 (each y[r] is computed independently, so the parallel
+// split is bit-deterministic).
 func (s *SparseMatrix) MulVec(x, y []float64) {
+	if s.frozen {
+		if parallelOK(s.N) {
+			parFor(s.N, func(lo, hi int) { s.mulVecRows(x, y, lo, hi) })
+		} else {
+			s.mulVecRows(x, y, 0, s.N)
+		}
+		return
+	}
 	for r := 0; r < s.N; r++ {
 		sum := s.diag[r] * x[r]
 		cols, vals := s.cols[r], s.vals[r]
 		for i := range cols {
+			sum += vals[i] * x[cols[i]]
+		}
+		y[r] = sum
+	}
+}
+
+// mulVecRows is the frozen CSR kernel for rows [lo, hi).
+func (s *SparseMatrix) mulVecRows(x, y []float64, lo, hi int) {
+	rp, cols, vals, diag := s.rowPtr, s.fcols, s.fvals, s.diag
+	for r := lo; r < hi; r++ {
+		sum := diag[r] * x[r]
+		for i := rp[r]; i < rp[r+1]; i++ {
 			sum += vals[i] * x[cols[i]]
 		}
 		y[r] = sum
@@ -202,7 +296,7 @@ func (s *SparseMatrix) SolveSOR(b []float64, x0 []float64, omega, tol float64, m
 	for iter := 1; iter <= maxIter; iter++ {
 		for r := 0; r < s.N; r++ {
 			sum := b[r]
-			cols, vals := s.cols[r], s.vals[r]
+			cols, vals := s.row(r)
 			for i := range cols {
 				sum -= vals[i] * x[cols[i]]
 			}
@@ -309,9 +403,22 @@ func (s *SparseMatrix) solvePCG(ws *Workspace, b []float64, tol float64, maxIter
 			return nil, iter, fmt.Errorf("mathx: CG: curvature pᵀAp = %g at iteration %d: %w", pAp, iter, ErrNotSPD)
 		}
 		alpha := rz / pAp
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
+		// Gated like MulVec: build the parallel closure only on systems
+		// large enough to amortize it (parallelOK), so small/serial solves
+		// stay allocation-free. Element-wise updates are bit-deterministic
+		// under any block split.
+		if parallelOK(n) {
+			parFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					x[i] += alpha * p[i]
+					r[i] -= alpha * ap[i]
+				}
+			})
+		} else {
+			for i := range x {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
 		}
 		rr = dot(r, r)
 		rNorm = math.Sqrt(rr)
@@ -328,13 +435,19 @@ func (s *SparseMatrix) solvePCG(ws *Workspace, b []float64, tol float64, maxIter
 			rzNew = rr
 		}
 		beta := rzNew / rz
+		dir := r
 		if precond {
-			for i := range p {
-				p[i] = z[i] + beta*p[i]
-			}
+			dir = z
+		}
+		if parallelOK(n) {
+			parFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					p[i] = dir[i] + beta*p[i]
+				}
+			})
 		} else {
 			for i := range p {
-				p[i] = r[i] + beta*p[i]
+				p[i] = dir[i] + beta*p[i]
 			}
 		}
 		rz = rzNew

@@ -1,0 +1,50 @@
+package mathx
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parCutoff is the minimum element count before a vector kernel (SpMV row
+// blocks, CG axpy sweeps) is split across goroutines. Below it the
+// fork/join overhead (~µs) exceeds the sweep itself; 16384 unknowns is a
+// 127×127 mesh, the first size where splitting measurably wins. Tuned on
+// the BenchmarkMeshSolve kernels.
+const parCutoff = 1 << 14
+
+// parallelOK reports whether an n-element kernel is worth splitting. Hot
+// callers test it BEFORE building the parFor closure: the closure escapes
+// (parFor hands it to goroutines), so constructing it unconditionally would
+// cost one heap allocation per call even on the serial path and break the
+// zero-alloc contract of the workspace solvers.
+func parallelOK(n int) bool {
+	return n >= parCutoff && runtime.GOMAXPROCS(0) > 1
+}
+
+// parFor runs f over [0, n) — serially when the system is small or the
+// process has a single P, otherwise split into one contiguous block per P.
+// Block boundaries depend only on n and GOMAXPROCS, and every callee writes
+// disjoint elements with no cross-block reduction, so parallel execution is
+// bit-identical to serial (reductions — dot products — deliberately stay
+// serial for that reason).
+func parFor(n int, f func(lo, hi int)) {
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 || n < parCutoff {
+		f(0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

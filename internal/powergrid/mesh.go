@@ -3,16 +3,9 @@ package powergrid
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"nanometer/internal/mathx"
 )
-
-// wsPool recycles solver workspaces across Mesh.Solve / PessimisticRatio
-// calls. The mesh solves all discretize to similar sizes, so the pooled
-// vectors are almost always reusable as-is; the pool also keeps concurrent
-// reproduction jobs from sharing scratch memory.
-var wsPool = sync.Pool{New: func() any { return new(mathx.Workspace) }}
 
 // Mesh is a 2-D resistive power-grid model of one bump cell: an n×n node
 // mesh spanning the bump pitch, rails of the sized width in both routing
@@ -61,58 +54,33 @@ func NewMesh(s GridSpec, railWidthM, railPitchM float64, n int) (*Mesh, error) {
 // the net. The same drop occurs on the ground net, so the supply-loop drop
 // is twice the returned value.
 func (m *Mesh) Solve() (maxDropV float64, err error) {
-	n := m.N
-	total := n * n
-	center := (n/2)*n + n/2
-	// Unknowns: all nodes except the pinned center.
-	idx := make([]int, total)
-	cnt := 0
-	for i := 0; i < total; i++ {
-		if i == center {
-			idx[i] = -1
-			continue
-		}
-		idx[i] = cnt
-		cnt++
+	// The sparsity pattern depends only on the grid dimension; the cached
+	// assembly is refilled for this mesh's conductance and wrapped as a
+	// frozen CSR without copying (assemblyFor documents the bit-identity
+	// contract with the original in-line assembly).
+	asm := assemblyFor(m.N)
+	sv, err := asm.solver()
+	if err != nil {
+		return 0, err
 	}
+	defer asm.pool.Put(sv)
 	g := 1 / m.EdgeOhms
-	mat := mathx.NewSparseMatrix(cnt)
-	rhs := make([]float64, cnt)
-	at := func(r, c int) int { return r*n + c }
-	for r := 0; r < n; r++ {
-		for c := 0; c < n; c++ {
-			u := at(r, c)
-			if idx[u] < 0 {
-				continue
-			}
-			row := idx[u]
-			rhs[row] = m.NodeCurrentA
-			deg := 0.0
-			neighbors := [][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}}
-			for _, nb := range neighbors {
-				if nb[0] < 0 || nb[0] >= n || nb[1] < 0 || nb[1] >= n {
-					continue // reflective boundary: no conductance out
-				}
-				v := at(nb[0], nb[1])
-				deg += g
-				if idx[v] >= 0 {
-					mat.Add(row, idx[v], -g)
-				}
-				// Pinned neighbor contributes 0 to RHS (V = 0).
-			}
-			mat.Add(row, row, deg)
-		}
+	sv.refill(asm, g, m.NodeCurrentA)
+	mat, err := mathx.NewFrozenCSR(asm.cnt, asm.rowPtr, asm.cols, sv.vals, sv.diag)
+	if err != nil {
+		return 0, fmt.Errorf("powergrid: mesh assembly: %w", err)
 	}
-	ws := wsPool.Get().(*mathx.Workspace)
-	defer wsPool.Put(ws)
-	// Workspace CG: the mesh Laplacian is SPD by construction with a
-	// near-constant diagonal (uniform edge conductance), so Jacobi
-	// preconditioning (SolvePCGW) buys no iterations here and plain CG on
-	// the pooled workspace is measurably faster (BenchmarkMeshSolve); PCG
-	// remains the right solver once rail widths vary per region. The
-	// solution aliases ws, so the max-drop reduction below must happen
-	// before the workspace is pooled.
-	sol, _, err := mat.SolveCGW(ws, rhs, 1e-10, 20*cnt)
+	if err := sv.mg.SetConductance(g); err != nil {
+		return 0, fmt.Errorf("powergrid: mesh solve: %w", err)
+	}
+	// Multigrid-preconditioned CG: plain CG needs O(n) iterations on the
+	// mesh Laplacian (and Jacobi buys nothing — the diagonal is
+	// near-constant), while one geometric V-cycle per iteration holds the
+	// count near-constant as the grid refines (BenchmarkMeshSolve; the
+	// mathx iteration-count test pins ≤ 25 through n = 255). The solution
+	// aliases the pooled workspace, so the max-drop reduction below must
+	// happen before the solver is pooled.
+	sol, _, err := mat.SolveMGW(&sv.ws, sv.mg, sv.rhs, 1e-10, 20*asm.cnt)
 	if err != nil {
 		return 0, fmt.Errorf("powergrid: mesh solve: %w", err)
 	}

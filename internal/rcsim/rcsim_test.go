@@ -1,6 +1,7 @@
 package rcsim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -134,5 +135,135 @@ func TestConvergenceWithRefinement(t *testing.T) {
 	}
 	if math.Abs(dc-df)/df > 0.05 {
 		t.Fatalf("discretization not converged: %g vs %g", dc, df)
+	}
+}
+
+// referenceStepResponse is the historical implementation kept as the test
+// oracle: it rebuilds and fully re-eliminates the tridiagonal system every
+// step. The production path factors once and re-solves; the two must agree
+// far below solver tolerance (the re-solve repeats the same arithmetic, so
+// in practice they agree exactly).
+func referenceStepResponse(l *Line, thresholds []float64) ([]float64, error) {
+	n := l.Segments
+	if n < 8 {
+		n = 8
+	}
+	seg := l.LengthM / float64(n)
+	rSeg := l.RPerM * seg
+	cSeg := l.CPerM * seg
+	caps := make([]float64, n+1)
+	for i := range caps {
+		caps[i] = cSeg
+	}
+	caps[0] = cSeg / 2
+	caps[n] = cSeg/2 + l.LoadF
+	tau := (l.DriverOhms + l.RPerM*l.LengthM) * (l.CPerM*l.LengthM + l.LoadF)
+	dt := tau / 2000
+	v := make([]float64, n+1)
+	out := make([]float64, len(thresholds))
+	gSeg := 1 / rSeg
+	g0 := math.Inf(1)
+	if l.DriverOhms > 0 {
+		g0 = 1 / l.DriverOhms
+	}
+	a := make([]float64, n+1)
+	b := make([]float64, n+1)
+	cDiag := make([]float64, n+1)
+	rhs := make([]float64, n+1)
+	next := 0
+	for step := 1; step <= 400000 && next < len(thresholds); step++ {
+		for i := 0; i <= n; i++ {
+			b[i] = caps[i] / dt
+			a[i], cDiag[i] = 0, 0
+			rhs[i] = caps[i] / dt * v[i]
+			if i > 0 {
+				b[i] += gSeg
+				a[i] = -gSeg
+			}
+			if i < n {
+				b[i] += gSeg
+				cDiag[i] = -gSeg
+			}
+		}
+		if math.IsInf(g0, 1) {
+			b[0] = 1
+			cDiag[0] = 0
+			rhs[0] = 1
+			rhs[1] -= a[1] * 1
+			a[1] = 0
+		} else {
+			b[0] += g0
+			rhs[0] += g0 * 1.0
+		}
+		// Full Thomas elimination, allocated and recomputed per step.
+		cp := make([]float64, n+1)
+		dp := make([]float64, n+1)
+		cp[0] = cDiag[0] / b[0]
+		dp[0] = rhs[0] / b[0]
+		for i := 1; i <= n; i++ {
+			m := b[i] - a[i]*cp[i-1]
+			cp[i] = cDiag[i] / m
+			dp[i] = (rhs[i] - a[i]*dp[i-1]) / m
+		}
+		v[n] = dp[n]
+		for i := n - 1; i >= 0; i-- {
+			v[i] = dp[i] - cp[i]*v[i+1]
+		}
+		t := float64(step) * dt
+		for next < len(thresholds) && v[n] >= thresholds[next] {
+			out[next] = t
+			next++
+		}
+	}
+	if next < len(thresholds) {
+		return nil, fmt.Errorf("reference did not reach threshold %g", thresholds[next])
+	}
+	return out, nil
+}
+
+// TestFactoredSolveMatchesReference pins the factor-once optimization
+// against the rebuild-every-step oracle across driver regimes (including
+// the ideal-driver pinned-node path) to 1e-12 relative.
+func TestFactoredSolveMatchesReference(t *testing.T) {
+	thresholds := []float64{0.1, 0.5, 0.9}
+	for _, drv := range []float64{0, 500, 2000} {
+		for _, segs := range []int{16, 64} {
+			l := &Line{
+				RPerM: 1.5e5, CPerM: 2.1e-10,
+				LengthM: 5e-3, Segments: segs,
+				DriverOhms: drv, LoadF: 10e-15,
+			}
+			got, err := l.StepResponse(thresholds)
+			if err != nil {
+				t.Fatalf("drv=%g segs=%d: %v", drv, segs, err)
+			}
+			want, err := referenceStepResponse(l, thresholds)
+			if err != nil {
+				t.Fatalf("drv=%g segs=%d: %v", drv, segs, err)
+			}
+			for i := range got {
+				if d := math.Abs(got[i]-want[i]) / want[i]; d > 1e-12 {
+					t.Errorf("drv=%g segs=%d threshold %g: factored %g vs reference %g (rel %.3g)",
+						drv, segs, thresholds[i], got[i], want[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestStepResponseAllocation pins the zero-allocations-per-step contract:
+// total allocations for a whole simulation must stay at the small constant
+// the setup needs, regardless of how many steps the integration runs. The
+// historical implementation allocated two scratch slices per step (~2000
+// for a 50 % crossing), which this bound catches immediately.
+func TestStepResponseAllocation(t *testing.T) {
+	l := line50nm(5e-3, 500, 10e-15)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := l.StepResponse([]float64{0.9}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 25 {
+		t.Fatalf("StepResponse allocated %.0f objects; want setup-only (≤ 25) — the per-step path must not allocate", allocs)
 	}
 }

@@ -41,13 +41,14 @@ func (a Artifact) ComputeCached(opts Options) (*result.Result, error) {
 
 // computeKey hashes the options that reach the models. CSVDir, Plot,
 // Verbose, and NoCache only affect encoding and are deliberately excluded,
-// so every encoding of one artifact shares a single cache entry. No
-// current option reaches the models — the key is a constant today — but
-// any future compute-side option must be written into this hash or the
-// cache will serve stale results.
+// so every encoding of one artifact shares a single cache entry. Any
+// compute-side option (today: MeshN) must be written into this hash or
+// the cache will serve stale results.
 func (o Options) computeKey() string {
 	h := fnv.New64a()
 	io.WriteString(h, "compute-v1")
+	io.WriteString(h, "\x00mesh-n=")
+	io.WriteString(h, strconv.Itoa(o.MeshN))
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 

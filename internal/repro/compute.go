@@ -281,8 +281,8 @@ func computeC7(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC8(_ Options) (*result.Result, error) {
-	r, err := experiments.RunBumps()
+func computeC8(opts Options) (*result.Result, error) {
+	r, err := experiments.RunBumpsN(opts.MeshN)
 	if err != nil {
 		return nil, err
 	}

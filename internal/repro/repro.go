@@ -36,6 +36,10 @@ type Options struct {
 	// NoCache bypasses the process-wide result cache, forcing every
 	// render to recompute (benchmarks, freshness-critical callers).
 	NoCache bool
+	// MeshN overrides the n×n power-grid validation mesh of the C8
+	// artifact (0 = the experiments default, 41). A compute-side option:
+	// it reaches the models, so it participates in the cache key.
+	MeshN int
 }
 
 // Artifact is one reproducible unit: a stable ID (t1, f3, c8, ...), a title
