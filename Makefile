@@ -4,18 +4,32 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench bench-all bench-mesh bench-report
+.PHONY: all build test race vet verify bench bench-all bench-mesh bench-report serve bench-serve
 
 all: verify
 
 # The PR's committed benchmark evidence: run the solver/report benchmarks
 # and write machine-readable numbers (ns/op, allocs/op, solver iterations,
 # GOMAXPROCS) with the seed baseline embedded for before/after diffing.
+# The HTTP load run appends the serving-layer numbers (throughput, latency
+# percentiles, cache hit ratio) to the same output.
 BENCH_OUT ?= BENCH_3.json
 BENCH_BASELINE ?= bench_seed.json
 
 bench:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASELINE)
+	$(MAKE) bench-serve
+
+# The HTTP daemon on :8077 (override: make serve ADDR=:9000).
+ADDR ?= :8077
+serve:
+	$(GO) run ./cmd/nanoreprod -addr $(ADDR)
+
+# Serving-layer load run: an in-process daemon, 200 requests across 8
+# clients over the whole registry — prints throughput, latency
+# percentiles, and the server's cache/gate counters.
+bench-serve:
+	$(GO) run ./cmd/nanoreprod -loadgen -requests 200 -concurrency 8
 
 build:
 	$(GO) build ./...

@@ -30,6 +30,10 @@ var (
 
 func main() {
 	flag.Parse()
+	if *meshN < powergrid.MinMeshN || *meshN > powergrid.MaxMeshN {
+		fmt.Fprintf(os.Stderr, "gridsim: -mesh %d outside [%d, %d]\n", *meshN, powergrid.MinMeshN, powergrid.MaxMeshN)
+		os.Exit(1)
+	}
 	node, err := itrs.ByNode(*nodeNM)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridsim:", err)

@@ -63,6 +63,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Validate user input at the boundary: a nonsense -mesh-n must fail
+	// here with a clear message, not deep inside solver setup.
+	if err := repro.ValidateMeshN(*meshN); err != nil {
+		fatal(err)
+	}
 	if *format != "text" && (*csvDir != "" || *plot || *verbose) {
 		fatal(fmt.Errorf("-csv, -plot, and -v only apply to -format text"))
 	}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nanometer/internal/repro"
+	"nanometer/internal/serve"
+)
+
+// runLoadgen fires a concurrent artifact-request mix at a daemon and
+// prints a throughput/latency/cache summary — the serving-layer companion
+// to cmd/benchjson's solver numbers in `make bench`. With no -base it
+// starts its own in-process daemon first, so a single command measures the
+// full stack cold-to-warm.
+func runLoadgen() error {
+	baseURL := *base
+	if baseURL == "" {
+		s := serve.New(serve.Config{GateUnits: *gate, Timeout: *timeout, Jobs: *jobs})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Printf("loadgen: started in-process daemon on %s\n", baseURL)
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+
+	ids := strings.Split(*targets, ",")
+	var clean []string
+	for _, id := range ids {
+		if id = strings.TrimSpace(id); id != "" {
+			clean = append(clean, id)
+		}
+	}
+	if len(clean) == 0 {
+		for _, a := range repro.Artifacts() {
+			clean = append(clean, a.ID)
+		}
+	}
+
+	n := *requests
+	if n < 1 {
+		n = 1
+	}
+	workers := *concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	client := &http.Client{Timeout: *timeout + 5*time.Second}
+
+	var (
+		next      atomic.Int64
+		errs      atomic.Int64
+		bytesRead atomic.Int64
+		mu        sync.Mutex
+		durations []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, n/workers+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					break
+				}
+				id := clean[i%int64(len(clean))]
+				url := fmt.Sprintf("%s/api/v1/artifacts/%s?format=%s", baseURL, id, *lgFormat)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				nb, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				bytesRead.Add(nb)
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			durations = append(durations, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	fmt.Printf("loadgen: %d requests (%d artifacts × format=%s), %d clients, %d errors\n",
+		n, len(clean), *lgFormat, workers, errs.Load())
+	fmt.Printf("loadgen: wall %.3fs, %.1f req/s, %.1f KB read\n",
+		elapsed.Seconds(), float64(len(durations))/elapsed.Seconds(), float64(bytesRead.Load())/1024)
+	if len(durations) > 0 {
+		fmt.Printf("loadgen: latency p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(durations, 50), pct(durations, 90), pct(durations, 99), durations[len(durations)-1])
+	}
+	// The server-side view: cache effectiveness and admission pressure.
+	if err := printMetrics(client, baseURL, "nanoreprod_cache_", "nanoreprod_gate_rejections_total", "nanoreprod_request_timeouts_total"); err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	return nil
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := p * len(sorted) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(10 * time.Microsecond)
+}
+
+// printMetrics scrapes the daemon and echoes the sample lines matching any
+// of the given prefixes.
+func printMetrics(client *http.Client, baseURL string, prefixes ...string) error {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(line, p) {
+				fmt.Println("loadgen: metric", line)
+				break
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -38,6 +38,19 @@ type meshSolver struct {
 
 var meshAssemblies sync.Map // int (grid side n) → *meshAssembly
 
+// maxCachedAssemblies bounds the pattern cache: a pattern for side n holds
+// O(n²) index data (~80 MB at the n=1023 cap), and the serving layer lets
+// untrusted clients pick n, so a scan across distinct sizes must recycle
+// slots instead of accumulating them. Eight slots cover the report default
+// plus a realistic refinement sweep; eviction only costs the next solve at
+// the evicted size a re-derivation.
+const maxCachedAssemblies = 8
+
+var assemblyEvict struct {
+	mu sync.Mutex
+	n  int
+}
+
 // assemblyFor returns the cached pattern for an n×n mesh, deriving it on
 // first use. The derivation walks nodes exactly as the original in-line
 // assembly did — neighbours in {up, down, left, right} order, out-of-range
@@ -86,8 +99,32 @@ func assemblyFor(n int) *meshAssembly {
 			asm.rowPtr[row+1] = int32(len(asm.cols))
 		}
 	}
-	v, _ := meshAssemblies.LoadOrStore(n, asm) // racing builders: first in wins
+	v, loaded := meshAssemblies.LoadOrStore(n, asm) // racing builders: first in wins
+	if !loaded {
+		capAssemblies(n)
+	}
 	return v.(*meshAssembly)
+}
+
+// capAssemblies evicts arbitrary other entries until at most
+// maxCachedAssemblies remain, keeping the just-inserted size. In-flight
+// solves hold direct *meshAssembly references, so eviction never breaks
+// them — the entry just becomes collectable once they finish.
+func capAssemblies(keep int) {
+	assemblyEvict.mu.Lock()
+	defer assemblyEvict.mu.Unlock()
+	assemblyEvict.n++
+	if assemblyEvict.n <= maxCachedAssemblies {
+		return
+	}
+	meshAssemblies.Range(func(k, _ any) bool {
+		if k.(int) == keep {
+			return true
+		}
+		meshAssemblies.Delete(k)
+		assemblyEvict.n--
+		return assemblyEvict.n > maxCachedAssemblies
+	})
 }
 
 // solver draws pooled per-solve state, building the multigrid hierarchy on

@@ -24,14 +24,31 @@ type Mesh struct {
 	NodeCurrentA float64
 }
 
+// Mesh dimension limits, enforced here (not just at the CLI/HTTP
+// boundaries) because the serving layer exposes the dimension to untrusted
+// query strings: MinMeshN is the smallest grid that still has an interior
+// ring around the pinned center bump, and MaxMeshN caps the unknown count
+// (n²−1 ≈ 10⁶ at 1023) so one request cannot allocate unbounded solver and
+// multigrid state.
+const (
+	MinMeshN = 5
+	MaxMeshN = 1023
+)
+
 // NewMesh discretizes a grid spec with rails of width railWidthM at rail
-// pitch railPitchM into an n×n mesh (n forced odd, ≥ 5).
+// pitch railPitchM into an n×n mesh (n forced odd so a center bump node
+// exists; n outside [MinMeshN, MaxMeshN] is rejected rather than clamped,
+// so nonsense like a negative dimension fails loudly at the model layer
+// even if a caller skipped boundary validation).
 func NewMesh(s GridSpec, railWidthM, railPitchM float64, n int) (*Mesh, error) {
-	if n < 5 {
-		n = 5
+	if n < MinMeshN {
+		return nil, fmt.Errorf("powergrid: mesh dimension %d too small (min %d)", n, MinMeshN)
 	}
 	if n%2 == 0 {
 		n++
+	}
+	if n > MaxMeshN {
+		return nil, fmt.Errorf("powergrid: mesh dimension %d too large (max %d)", n, MaxMeshN)
 	}
 	if railWidthM <= 0 || railPitchM <= 0 {
 		return nil, fmt.Errorf("powergrid: non-positive rail geometry (w=%g, p=%g)", railWidthM, railPitchM)

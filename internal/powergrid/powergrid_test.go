@@ -155,6 +155,64 @@ func TestMeshErrors(t *testing.T) {
 	}
 }
 
+// TestAssemblyCacheBounded: solving at many distinct mesh sizes (the shape
+// of a hostile mesh-n scan through the daemon) must not accumulate one
+// O(n²) pattern per size forever.
+func TestAssemblyCacheBounded(t *testing.T) {
+	sz, err := spec35(80e-6).SizeRails()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 5; n <= 5+2*(3*maxCachedAssemblies); n += 2 {
+		m, err := NewMesh(spec35(80e-6), sz.RailWidthM, 80e-6, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Solve(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	count := 0
+	meshAssemblies.Range(func(_, _ any) bool { count++; return true })
+	// Transient over-admission by racing inserts is tolerated; unbounded
+	// growth is not.
+	if count > maxCachedAssemblies+1 {
+		t.Fatalf("%d assemblies cached, bound is %d", count, maxCachedAssemblies)
+	}
+}
+
+// TestMeshDimensionLimits: nonsense dimensions are rejected in the model
+// layer itself, not only at the CLI/HTTP boundaries — the serving layer
+// passes untrusted values down here.
+func TestMeshDimensionLimits(t *testing.T) {
+	sz, err := spec35(80e-6).SizeRails()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{-5, -1, 0, 1, 2, 4} {
+		if _, err := NewMesh(spec35(80e-6), sz.RailWidthM, 80e-6, n); err == nil {
+			t.Errorf("NewMesh(n=%d) must error", n)
+		}
+	}
+	for _, n := range []int{MaxMeshN + 1, 1 << 20} {
+		if _, err := NewMesh(spec35(80e-6), sz.RailWidthM, 80e-6, n); err == nil {
+			t.Errorf("NewMesh(n=%d) must error", n)
+		}
+	}
+	// Even dimensions stay accepted (bumped to odd) and in-range odd ones
+	// solve.
+	m, err := NewMesh(spec35(80e-6), sz.RailWidthM, 80e-6, 10)
+	if err != nil {
+		t.Fatalf("NewMesh(n=10): %v", err)
+	}
+	if m.N != 11 {
+		t.Errorf("even dimension should round up to 11, got %d", m.N)
+	}
+	if _, err := m.Solve(); err != nil {
+		t.Errorf("solve at n=11: %v", err)
+	}
+}
+
 func TestCheckBumpCurrentAt35(t *testing.T) {
 	chk := CheckBumpCurrent(itrs.MustNode(35))
 	if chk.Compatible {

@@ -5,16 +5,65 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"nanometer/internal/result"
 )
 
+// cacheState is one generation of the process-wide result cache: the map of
+// once-cells plus the entry count that enforces the size bound. Reset swaps
+// the whole generation atomically, so readers racing a flush either finish
+// against the old generation or start fresh on the new one — never observe
+// a torn map.
+type cacheState struct {
+	m sync.Map // string key → *computeCell
+	n atomic.Int64
+}
+
 // cache memoizes computed artifact results for the life of the process,
 // keyed by artifact ID + compute-options hash. Entries are once-cells (the
 // device.ForNode pattern): concurrent renders of the same artifact share
-// one computation, and every encoder — text, JSON, CSV, a future serving
-// layer — reads the same immutable result.
-var cache = new(sync.Map)
+// one computation, and every consumer — text, JSON, CSV encoders, the HTTP
+// serving layer — reads the same immutable result.
+var cache atomic.Pointer[cacheState]
+
+func init() { cache.Store(new(cacheState)) }
+
+// MaxCacheEntries bounds the number of distinct (artifact, compute-options)
+// entries the cache will hold. The registry has ~20 artifacts and a handful
+// of legitimate mesh sizes, so the bound is generous — it exists because
+// the serving layer feeds untrusted query strings into Options, and a scan
+// over hostile mesh-n values must not grow the cache without limit. Past
+// the bound, new keys compute uncached (correct, just unmemoized) and are
+// counted in CacheStats.Bypassed.
+const MaxCacheEntries = 256
+
+// Cumulative cache telemetry (monotonic across flushes, as scrape-friendly
+// counters must be). hits = served from an existing entry, misses = created
+// a new entry and computed, bypassed = computed uncached because the bound
+// was reached or NoCache was set.
+var cacheHits, cacheMisses, cacheBypassed atomic.Uint64
+
+// CacheStats is a point-in-time snapshot of the compute cache counters.
+type CacheStats struct {
+	// Hits and Misses count ComputeCached calls served from / inserted
+	// into the cache; Bypassed counts calls that computed uncached
+	// (NoCache or entry bound reached). All three are cumulative for the
+	// process, surviving ResetCache.
+	Hits, Misses, Bypassed uint64
+	// Entries is the current number of memoized results.
+	Entries int
+}
+
+// ReadCacheStats snapshots the cache counters for /metrics.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		Hits:     cacheHits.Load(),
+		Misses:   cacheMisses.Load(),
+		Bypassed: cacheBypassed.Load(),
+		Entries:  int(cache.Load().n.Load()),
+	}
+}
 
 type computeCell struct {
 	once sync.Once
@@ -28,22 +77,49 @@ type computeCell struct {
 // entirely.
 func (a Artifact) ComputeCached(opts Options) (*result.Result, error) {
 	if opts.NoCache {
+		cacheBypassed.Add(1)
 		return a.compute(opts)
 	}
+	st := cache.Load()
 	key := a.ID + "\x00" + opts.computeKey()
-	e, _ := cache.LoadOrStore(key, &computeCell{})
+	e, ok := st.m.Load(key)
+	if !ok {
+		// Admit a new entry only under the bound. The check-then-store is
+		// approximate under contention (a burst of distinct keys can
+		// overshoot by the number of racing goroutines), which is fine:
+		// the bound defends against unbounded growth, not an exact count.
+		if st.n.Load() >= MaxCacheEntries {
+			cacheBypassed.Add(1)
+			return a.compute(opts)
+		}
+		var loaded bool
+		e, loaded = st.m.LoadOrStore(key, &computeCell{})
+		if !loaded {
+			st.n.Add(1)
+		}
+	}
 	cell := e.(*computeCell)
+	hit := true
 	cell.once.Do(func() {
+		hit = false
 		cell.res, cell.err = a.compute(opts)
 	})
+	if hit {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
 	return cell.res, cell.err
 }
 
 // computeKey hashes the options that reach the models. CSVDir, Plot,
-// Verbose, and NoCache only affect encoding and are deliberately excluded,
-// so every encoding of one artifact shares a single cache entry. Any
-// compute-side option (today: MeshN) must be written into this hash or
-// the cache will serve stale results.
+// Verbose, and NoCache only affect encoding (or cache policy) and are
+// deliberately excluded, so every encoding of one artifact shares a single
+// cache entry. Any compute-side option (today: MeshN) must be written into
+// this hash or the cache will serve stale results —
+// TestComputeKeyCoversOptions enforces the classification by reflection,
+// so adding a field to Options without teaching it to that test fails the
+// suite.
 func (o Options) computeKey() string {
 	h := fnv.New64a()
 	io.WriteString(h, "compute-v1")
@@ -52,5 +128,14 @@ func (o Options) computeKey() string {
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 
-// resetCache drops every memoized result (tests and benchmarks only).
-func resetCache() { cache = new(sync.Map) }
+// CacheKey exposes the compute-options hash. The serving layer folds it
+// into strong ETags: two requests whose options hash equal are guaranteed
+// the same cache entry, hence byte-identical artifact data.
+func (o Options) CacheKey() string { return o.computeKey() }
+
+// ResetCache atomically drops every memoized result. Safe to call while
+// computes are in flight: a reader that already holds the old generation
+// finishes against it (and its result simply becomes unreachable); new
+// calls start on the empty generation. The daemon's cache-flush endpoint
+// and benchmarks use this; cumulative hit/miss counters are preserved.
+func ResetCache() { cache.Store(new(cacheState)) }

@@ -18,6 +18,7 @@ import (
 	"io"
 	"strings"
 
+	"nanometer/internal/powergrid"
 	"nanometer/internal/render"
 	"nanometer/internal/result"
 	"nanometer/internal/runner"
@@ -38,9 +39,33 @@ type Options struct {
 	NoCache bool
 	// MeshN overrides the n×n power-grid validation mesh of the C8
 	// artifact (0 = the experiments default, 41). A compute-side option:
-	// it reaches the models, so it participates in the cache key.
+	// it reaches the models, so it participates in the cache key. Callers
+	// accepting MeshN from users (flags, query strings) must run it
+	// through ValidateMeshN first.
 	MeshN int
 }
+
+// ValidateMeshN checks a user-supplied mesh dimension at the trust
+// boundary: both the CLI flag and the daemon's query parameter funnel
+// through here, so -mesh-n -5 (or 1, 2, or a memory-exhausting 10⁶) is
+// rejected with one clear message instead of flowing into solver setup.
+// 0 is valid and selects the experiments default. powergrid enforces the
+// same limits itself for programmatic callers.
+func ValidateMeshN(n int) error {
+	if n == 0 {
+		return nil
+	}
+	if n < powergrid.MinMeshN {
+		return fmt.Errorf("repro: mesh-n %d too small: an IR-drop mesh needs at least %d nodes per side (0 selects the default)", n, powergrid.MinMeshN)
+	}
+	if n > powergrid.MaxMeshN {
+		return fmt.Errorf("repro: mesh-n %d too large: capped at %d nodes per side (%d² unknowns) to bound solver memory", n, powergrid.MaxMeshN, powergrid.MaxMeshN)
+	}
+	return nil
+}
+
+// Validate checks an Options value assembled from untrusted input.
+func (o Options) Validate() error { return ValidateMeshN(o.MeshN) }
 
 // Artifact is one reproducible unit: a stable ID (t1, f3, c8, ...), a title
 // for listings, and a compute function producing its typed result.

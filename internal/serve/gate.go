@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// gate is a weighted, FIFO admission semaphore: every request acquires a
+// number of units proportional to its compute cost before touching the
+// model stack, so a burst of cheap requests runs concurrently up to the
+// capacity while one expensive refinement (mesh-n 255 weighs ~38 default
+// requests) drains the gate, runs alone, and releases it — it can neither
+// starve the pool nor be starved forever, because waiters are served
+// strictly in arrival order.
+type gate struct {
+	cap int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *gateWaiter, FIFO
+}
+
+type gateWaiter struct {
+	n     int64
+	ready chan struct{} // closed when the grant is made
+}
+
+func newGate(capacity int64) *gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &gate{cap: capacity}
+}
+
+// clamp bounds a request's weight to the gate capacity, so one request
+// dearer than the whole gate still admits (exclusively) instead of
+// deadlocking.
+func (g *gate) clamp(n int64) int64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > g.cap {
+		n = g.cap
+	}
+	return n
+}
+
+// Acquire blocks until n units are granted or ctx is done. n is clamped to
+// [1, capacity]. The returned release function gives the units back (call
+// exactly once; it is nil when Acquire fails).
+func (g *gate) Acquire(ctx context.Context, n int64) (release func(), err error) {
+	n = g.clamp(n)
+	g.mu.Lock()
+	if g.waiters.Len() == 0 && g.cur+n <= g.cap {
+		g.cur += n
+		g.mu.Unlock()
+		return func() { g.release(n) }, nil
+	}
+	w := &gateWaiter{n: n, ready: make(chan struct{})}
+	elem := g.waiters.PushBack(w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { g.release(n) }, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation; keep it and succeed, so
+			// units are never leaked nor double-counted.
+			g.mu.Unlock()
+			return func() { g.release(n) }, nil
+		default:
+		}
+		g.waiters.Remove(elem)
+		// Removing a waiter at the head may unblock those behind it.
+		g.notifyLocked()
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gate) release(n int64) {
+	g.mu.Lock()
+	g.cur -= n
+	if g.cur < 0 {
+		panic("serve: gate released more than acquired")
+	}
+	g.notifyLocked()
+	g.mu.Unlock()
+}
+
+// notifyLocked grants queued waiters in FIFO order while capacity lasts.
+// The head waiter blocks everyone behind it even if they would fit —
+// that's the anti-starvation guarantee for heavy requests.
+func (g *gate) notifyLocked() {
+	for {
+		front := g.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*gateWaiter)
+		if g.cur+w.n > g.cap {
+			return
+		}
+		g.cur += w.n
+		g.waiters.Remove(front)
+		close(w.ready)
+	}
+}
+
+// InFlight returns the units currently held — exported to the metrics
+// layer as a gauge.
+func (g *gate) InFlight() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Waiting returns the queued waiter count.
+func (g *gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiters.Len()
+}

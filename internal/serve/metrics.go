@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"nanometer/internal/obs"
+	"nanometer/internal/repro"
+)
+
+// metrics is the daemon's instrument set, all registered on one obs
+// registry that /metrics scrapes. Names are stable API — they appear in
+// README, the CI smoke test, and any dashboards users build.
+type metrics struct {
+	reg *obs.Registry
+
+	requests       *obs.CounterVec // nanoreprod_http_requests_total{code}
+	duration       *obs.Histogram  // nanoreprod_http_request_duration_seconds
+	inFlight       *obs.Gauge      // nanoreprod_http_in_flight_requests
+	artifactTotal  *obs.CounterVec // nanoreprod_artifact_requests_total{artifact}
+	computeSeconds *obs.CounterVec // nanoreprod_artifact_compute_seconds_total{artifact}
+	notModified    *obs.Counter    // nanoreprod_etag_not_modified_total
+	timeouts       *obs.Counter    // nanoreprod_request_timeouts_total
+	rejected       *obs.Counter    // nanoreprod_gate_rejections_total
+}
+
+func newMetrics(g *gate) *metrics {
+	reg := &obs.Registry{}
+	m := &metrics{
+		reg:      reg,
+		requests: reg.CounterVec("nanoreprod_http_requests_total", "HTTP responses by status code.", "code"),
+		duration: reg.Histogram("nanoreprod_http_request_duration_seconds",
+			"End-to-end request latency (admission wait + compute + encode).", obs.DurationBuckets()),
+		inFlight: reg.Gauge("nanoreprod_http_in_flight_requests", "Requests currently being handled."),
+		artifactTotal: reg.CounterVec("nanoreprod_artifact_requests_total",
+			"Artifact requests by artifact ID (304s included).", "artifact"),
+		computeSeconds: reg.CounterVec("nanoreprod_artifact_compute_seconds_total",
+			"Seconds spent in ComputeCached per artifact (cache hits cost ~0).", "artifact"),
+		notModified: reg.Counter("nanoreprod_etag_not_modified_total",
+			"Conditional requests answered 304 from the ETag alone."),
+		timeouts: reg.Counter("nanoreprod_request_timeouts_total",
+			"Requests that hit the per-request compute deadline."),
+		rejected: reg.Counter("nanoreprod_gate_rejections_total",
+			"Requests whose admission-gate wait was cut short (timeout or client gone)."),
+	}
+	// The compute cache instruments live in internal/repro (they are
+	// bumped inside ComputeCached itself); exported here as scrape-time
+	// reads so the cache stays ignorant of HTTP.
+	reg.CounterFunc("nanoreprod_cache_hits_total",
+		"ComputeCached calls served from a memoized result.",
+		func() float64 { return float64(repro.ReadCacheStats().Hits) })
+	reg.CounterFunc("nanoreprod_cache_misses_total",
+		"ComputeCached calls that computed and stored a new entry.",
+		func() float64 { return float64(repro.ReadCacheStats().Misses) })
+	reg.CounterFunc("nanoreprod_cache_bypass_total",
+		"ComputeCached calls that computed uncached (NoCache or entry bound).",
+		func() float64 { return float64(repro.ReadCacheStats().Bypassed) })
+	reg.GaugeFunc("nanoreprod_cache_entries",
+		"Memoized results currently held by the compute cache.",
+		func() float64 { return float64(repro.ReadCacheStats().Entries) })
+	// Admission-gate visibility: how loaded the compute pool is and how
+	// deep the queue behind it runs.
+	reg.GaugeFunc("nanoreprod_gate_in_flight_units",
+		"Weighted compute units currently admitted.",
+		func() float64 { return float64(g.InFlight()) })
+	reg.GaugeFunc("nanoreprod_gate_capacity_units",
+		"Configured admission-gate capacity in compute units.",
+		func() float64 { return float64(g.cap) })
+	reg.GaugeFunc("nanoreprod_gate_waiting_requests",
+		"Requests queued at the admission gate.",
+		func() float64 { return float64(g.Waiting()) })
+	return m
+}

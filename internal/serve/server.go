@@ -1,0 +1,465 @@
+// Package serve is the HTTP layer of the reproduction: it exposes the
+// artifact registry of internal/repro as a long-lived daemon
+// (cmd/nanoreprod) instead of a one-shot CLI. The routing is thin — the
+// substance is the production behavior around it:
+//
+//   - Strong ETags derived from artifact ID + the compute-cache key, so
+//     If-None-Match revalidation answers 304 without touching the models,
+//     and an ETag match guarantees byte-identical data (the same guarantee
+//     the compute cache gives in-process).
+//   - A weighted FIFO admission gate: every request costs compute units
+//     proportional to its mesh size, cheap requests run concurrently up to
+//     the configured capacity, and an expensive mesh-n=255 refinement
+//     drains the gate and runs alone instead of starving the pool.
+//   - Per-request timeouts that cut the handler loose (503/504) while the
+//     abandoned compute still completes into the cache, so a retry is a
+//     hit rather than a second solve. The gate units stay held until the
+//     model work actually finishes — the gate bounds real solver
+//     concurrency, not merely live handlers.
+//   - Prometheus metrics (internal/obs) for latency, admission, per-
+//     artifact compute time, and the compute cache's hit/miss/bypass
+//     counters, plus /debug/pprof.
+//
+// Handlers produce bytes identical to cmd/nanorepro for the same options:
+// both sit on repro.ComputeCached and the internal/render encoders.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nanometer/internal/experiments"
+	"nanometer/internal/render"
+	"nanometer/internal/repro"
+	"nanometer/internal/result"
+	"nanometer/internal/runner"
+)
+
+// Config parameterizes a Server. The zero value serves the full registry
+// with sane production defaults.
+type Config struct {
+	// Artifacts is the registry to serve; nil selects repro.Artifacts().
+	Artifacts []repro.Artifact
+	// GateUnits is the admission-gate capacity in compute units (one unit
+	// ≈ one default-mesh artifact compute). ≤ 0 selects
+	// max(8, 4·GOMAXPROCS).
+	GateUnits int64
+	// Timeout is the per-request compute budget (admission wait included).
+	// ≤ 0 selects 30 s.
+	Timeout time.Duration
+	// Jobs is the worker count for full-report requests; ≤ 0 selects
+	// GOMAXPROCS.
+	Jobs int
+}
+
+// Server routes HTTP requests onto the artifact registry. Create with New,
+// mount via Handler.
+type Server struct {
+	byID    map[string]repro.Artifact
+	order   []repro.Artifact
+	gate    *gate
+	timeout time.Duration
+	jobs    int
+	met     *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	arts := cfg.Artifacts
+	if arts == nil {
+		arts = repro.Artifacts()
+	}
+	units := cfg.GateUnits
+	if units <= 0 {
+		units = int64(4 * runtime.GOMAXPROCS(0))
+		if units < 8 {
+			units = 8
+		}
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		byID:    make(map[string]repro.Artifact, len(arts)),
+		order:   arts,
+		gate:    newGate(units),
+		timeout: timeout,
+		jobs:    jobs,
+	}
+	for _, a := range arts {
+		s.byID[a.ID] = a
+	}
+	s.met = newMetrics(s.gate)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/v1/artifacts", s.handleIndex)
+	s.mux.HandleFunc("GET /api/v1/artifacts/{id}", s.handleArtifact)
+	s.mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	s.mux.HandleFunc("POST /api/v1/cache/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.reg.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the instrumented root handler (mount on an http.Server).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inFlight.Inc()
+		defer s.met.inFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		s.met.requests.With(strconv.Itoa(rec.code)).Inc()
+		s.met.duration.Observe(time.Since(start).Seconds())
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// apiError answers a failed API request with a JSON body (the API speaks
+// JSON even when the requested representation was text or CSV).
+func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// requestOptions parses and validates the query parameters shared by the
+// artifact and report endpoints. mesh-n arrives from untrusted clients and
+// goes through the same ValidateMeshN the CLI flag uses.
+func requestOptions(r *http.Request) (opts repro.Options, format string, err error) {
+	q := r.URL.Query()
+	format = q.Get("format")
+	if format == "" {
+		format = "text"
+	}
+	switch format {
+	case "text", "json", "csv":
+	default:
+		return opts, "", fmt.Errorf("unknown format %q (want text, json, or csv)", format)
+	}
+	if v := q.Get("mesh-n"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil {
+			return opts, "", fmt.Errorf("mesh-n %q is not an integer", v)
+		}
+		if verr := repro.ValidateMeshN(n); verr != nil {
+			return opts, "", verr
+		}
+		opts.MeshN = n
+	}
+	// Encode-only toggles of the text format (same semantics as the CLI's
+	// -v and -plot).
+	opts.Verbose = boolParam(q.Get("verbose"))
+	opts.Plot = boolParam(q.Get("plot"))
+	if format != "text" && (opts.Verbose || opts.Plot) {
+		return opts, "", fmt.Errorf("verbose and plot only apply to format=text")
+	}
+	return opts, format, nil
+}
+
+func boolParam(v string) bool { return v == "1" || v == "true" }
+
+// etagFor derives the strong ETag of one artifact representation: the
+// artifact ID, the compute-cache key (everything that can change the
+// computed data), and the encoding discriminators (everything that can
+// change its serialization). Compute is deterministic, so equal ETags mean
+// byte-identical bodies — which is also why the ETag can be issued without
+// encoding anything.
+func etagFor(id string, opts repro.Options, format string) string {
+	enc := format
+	if opts.Verbose {
+		enc += "v"
+	}
+	if opts.Plot {
+		enc += "p"
+	}
+	return `"` + id + "-" + opts.CacheKey() + "-" + enc + `"`
+}
+
+// etagMatches implements the If-None-Match comparison for strong ETags.
+func etagMatches(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// contentType maps a format to its media type.
+func contentType(format string) string {
+	switch format {
+	case "json":
+		return "application/json"
+	case "csv":
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// weight prices a request in gate units: the default 41-node mesh (and
+// everything cheaper) costs 1, larger meshes cost proportionally to their
+// node count — mesh-n=255 weighs ~39 units, so it drains the gate and runs
+// exclusively rather than stacking up alongside a burst of cheap requests.
+func weight(meshN int) int64 {
+	if meshN <= 0 {
+		meshN = experiments.DefaultMeshN
+	}
+	d := int64(experiments.DefaultMeshN) * int64(experiments.DefaultMeshN)
+	n := int64(meshN) * int64(meshN)
+	return (n + d - 1) / d
+}
+
+// admit acquires wt gate units under the request deadline. The returned
+// release must be handed to exactly one finisher (a compute goroutine);
+// a nil release means admission failed and the response was written.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, wt int64) func() {
+	release, err := s.gate.Acquire(ctx, wt)
+	if err != nil {
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusServiceUnavailable, "admission gate wait canceled: %v", err)
+		return nil
+	}
+	return release
+}
+
+// finish waits for a background produce goroutine under the deadline. On
+// timeout the handler answers 504 and walks away; the goroutine keeps
+// running to completion (its result lands in the compute cache, so the
+// client's retry is a hit) and releases its gate units when done.
+func await[T any](s *Server, ctx context.Context, w http.ResponseWriter, ch <-chan T) (T, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	case <-ctx.Done():
+		s.met.timeouts.Inc()
+		var zero T
+		apiError(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", ctx.Err())
+		return zero, false
+	}
+}
+
+// handleIndex lists the registry.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		URL   string `json:"url"`
+	}
+	index := struct {
+		Artifacts []entry  `json:"artifacts"`
+		Formats   []string `json:"formats"`
+	}{Formats: []string{"text", "json", "csv"}}
+	for _, a := range s.order {
+		index.Artifacts = append(index.Artifacts, entry{a.ID, a.Title, "/api/v1/artifacts/" + a.ID})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(index)
+}
+
+// handleArtifact serves one artifact in the requested representation.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	a, ok := s.byID[id]
+	if !ok {
+		apiError(w, http.StatusNotFound, "unknown artifact %q (GET /api/v1/artifacts for the index)", id)
+		return
+	}
+	s.met.artifactTotal.With(id).Inc()
+	opts, format, err := requestOptions(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	etag := etagFor(id, opts, format)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache") // revalidate via ETag; 304 is cheap
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		s.met.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	release := s.admit(ctx, w, weight(opts.MeshN))
+	if release == nil {
+		return
+	}
+	type outcome struct {
+		res *result.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		start := time.Now()
+		res, err := a.ComputeCached(opts)
+		s.met.computeSeconds.With(id).Add(time.Since(start).Seconds())
+		ch <- outcome{res, err}
+	}()
+	out, ok := await(s, ctx, w, ch)
+	if !ok {
+		return
+	}
+	if out.err != nil {
+		apiError(w, http.StatusInternalServerError, "computing %s: %v", id, out.err)
+		return
+	}
+	body, err := encodeOne(out.res, opts, format)
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
+		return
+	}
+	writeBody(w, format, body)
+}
+
+// handleReport serves the full run — the exact bytes `nanorepro
+// -format=<f>` prints for the same options.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	opts, format, err := requestOptions(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	// A report computes every artifact: price it as the sum of its parts
+	// (clamped to capacity inside the gate).
+	release := s.admit(ctx, w, int64(len(s.order))*weight(opts.MeshN))
+	if release == nil {
+		return
+	}
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		body, err := s.encodeReport(opts, format)
+		ch <- outcome{body, err}
+	}()
+	out, ok := await(s, ctx, w, ch)
+	if !ok {
+		return
+	}
+	if out.err != nil {
+		apiError(w, http.StatusInternalServerError, "report: %v", out.err)
+		return
+	}
+	writeBody(w, format, out.body)
+}
+
+// handleFlush drops every memoized result (ResetCache is safe under load —
+// in-flight computes finish against the old generation).
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	before := repro.ReadCacheStats().Entries
+	repro.ResetCache()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"flushed": true, "entries_dropped": before})
+}
+
+// encodeOne renders a computed result exactly as the CLI would: render.Text
+// for format=text, a single-artifact {"artifacts":[…]} document for json,
+// and render.CSV blocks for csv.
+func encodeOne(res *result.Result, opts repro.Options, format string) ([]byte, error) {
+	var buf bytes.Buffer
+	var err error
+	switch format {
+	case "json":
+		err = render.JSON{Indent: "  "}.EncodeReport(&buf, &result.Report{Artifacts: []*result.Result{res}})
+	case "csv":
+		err = render.CSV{}.Encode(&buf, res)
+	default:
+		err = render.Text{Plot: opts.Plot, Verbose: opts.Verbose}.Encode(&buf, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeReport renders the whole registry through the same pool paths the
+// CLI uses, so the bytes match `nanorepro` for the same options and worker
+// non-determinism stays impossible.
+func (s *Server) encodeReport(opts repro.Options, format string) ([]byte, error) {
+	pool := runner.Pool{Workers: s.jobs}
+	var buf bytes.Buffer
+	switch format {
+	case "json":
+		results, aggErr := repro.ComputeAll(pool, s.order, opts)
+		if aggErr != nil {
+			return nil, aggErr
+		}
+		rep := &result.Report{Artifacts: results}
+		if err := (render.JSON{Indent: "  "}).EncodeReport(&buf, rep); err != nil {
+			return nil, err
+		}
+	case "csv":
+		results, sinkErr := pool.RunTo(&buf, repro.EncodeJobs(s.order, opts, render.CSV{}))
+		if sinkErr != nil {
+			return nil, sinkErr
+		}
+		if agg := runner.Errs(results); agg != nil {
+			return nil, agg
+		}
+	default:
+		results, sinkErr := pool.RunTo(&buf, repro.Jobs(s.order, opts))
+		if sinkErr != nil {
+			return nil, sinkErr
+		}
+		if agg := runner.Errs(results); agg != nil {
+			return nil, agg
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func writeBody(w http.ResponseWriter, format string, body []byte) {
+	w.Header().Set("Content-Type", contentType(format))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
