@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify bench bench-all bench-mesh bench-report serve bench-serve
+.PHONY: all build test race vet lint verify bench bench-all bench-mesh bench-report serve bench-serve
 
 all: verify
 
@@ -40,10 +40,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The project-specific static-analysis gate (internal/analyzers via
+# cmd/nanolint): determinism of output-producing packages (detrange),
+# the solver-error contract (solvecheck), compute-cache key coverage
+# (cachekey), and pooled-workspace discipline (poolescape). Exit 1 on any
+# finding, with the analyzer name in every line.
+lint:
+	$(GO) run ./cmd/nanolint ./...
+
 race:
 	$(GO) test -race ./...
 
-verify: vet build race
+verify: vet build lint race
 
 # All benchmarks: every artifact end to end + ablations + solver kernels +
 # the parallel full-report speedup (bench_test.go), raw text output.

@@ -1,0 +1,71 @@
+// nanolint is the repo's custom static-analysis gate: a multichecker over
+// the project-specific analyzers in internal/analyzers, which turn the
+// invariants the test suite enforces dynamically — golden-byte
+// determinism, the solver-error contract, compute-cache key coverage,
+// pooled-workspace discipline — into compile-time checks.
+//
+// Usage:
+//
+//	go run ./cmd/nanolint ./...        # lint the whole module (make lint)
+//	go run ./cmd/nanolint -list        # describe the analyzers
+//
+// Findings print as file:line:col: <analyzer>: <message> and make the
+// process exit 1 (load or internal errors exit 2), so CI failure output
+// always names the analyzer that fired. A finding can be suppressed with
+// a `//lint:allow <analyzer> <reason>` comment on the flagged line or the
+// line directly above it; the reason is mandatory by review policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanometer/internal/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: nanolint [-list] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+			if a.Scope != nil {
+				fmt.Printf("    scope: %v\n", a.Scope)
+			}
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analyzers.RunAnalyzers(pkg, analyzers.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "nanolint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"nanometer/internal/analyzers"
+	"nanometer/internal/analyzers/atest"
+)
+
+// Each fixture plants at least one violation per analyzer, so these tests
+// fail in both directions: a gutted analyzer reports nothing where the
+// fixture wants a diagnostic, and an over-eager one reports on the clean
+// (idiomatic or annotated) shapes.
+
+func TestDetrangeFixture(t *testing.T) {
+	// The fixture is checked under an in-scope import path; detrange is
+	// scoped to output-producing packages.
+	atest.Run(t, analyzers.Detrange, "testdata/detrange", "nanometer/internal/render")
+}
+
+func TestSolvecheckFixture(t *testing.T) {
+	atest.Run(t, analyzers.Solvecheck, "testdata/solvecheck", "nanometer/internal/fixture")
+}
+
+func TestCachekeyFixture(t *testing.T) {
+	atest.Run(t, analyzers.Cachekey, "testdata/cachekey", "nanometer/internal/fixture")
+}
+
+func TestPoolescapeFixture(t *testing.T) {
+	atest.Run(t, analyzers.Poolescape, "testdata/poolescape", "nanometer/internal/fixture")
+}
+
+// TestDetrangeScope pins the scoped-analyzer contract the nanolint driver
+// relies on: detrange applies exactly to the output-producing packages,
+// the other analyzers everywhere.
+func TestDetrangeScope(t *testing.T) {
+	for _, p := range analyzers.DetrangeScope {
+		if !analyzers.Detrange.AppliesTo(p) {
+			t.Errorf("Detrange should apply to %s", p)
+		}
+	}
+	if analyzers.Detrange.AppliesTo("nanometer/internal/mathx") {
+		t.Error("Detrange should not apply to nanometer/internal/mathx (solver package, no output bytes)")
+	}
+	for _, a := range analyzers.All() {
+		if a == analyzers.Detrange {
+			continue
+		}
+		if !a.AppliesTo("nanometer/internal/mathx") {
+			t.Errorf("%s should apply to every package", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// gate `make lint` enforces — so a violation introduced anywhere fails
+// `go test` too, not just the lint step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint run skipped in -short mode")
+	}
+	pkgs, err := analyzers.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analyzers.RunAnalyzers(pkg, analyzers.All())
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

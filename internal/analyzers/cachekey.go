@@ -1,0 +1,195 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cachekey is the static complement to repro's reflection guard
+// (TestComputeKeyCoversOptions): every field of an Options struct that has
+// a computeKey method must be classified — either compute-side (listed in
+// computeSideFields AND actually read by computeKey, so the result cache
+// reacts to it) or encode-only (listed in encodeOnlyFields and NOT read by
+// computeKey, so every encoding of one artifact shares one compute). An
+// unclassified field is how the cache silently serves stale results after
+// someone adds an option; a misclassified one either poisons the cache or
+// splinters it. The reflection guard catches this at test time; cachekey
+// reports it at the field declaration, before a test ever runs.
+var Cachekey = &Analyzer{
+	Name: "cachekey",
+	Doc: "every Options field must be classified compute-side (read by " +
+		"computeKey) or encode-only, at the field declaration",
+	Run: runCachekey,
+}
+
+func runCachekey(pass *Pass) error {
+	opts := lookupOptionsStruct(pass)
+	if opts == nil {
+		return nil // package has no Options+computeKey pair — nothing to enforce
+	}
+	read := computeKeyFieldReads(pass, opts.typ)
+	computeSide := classificationKeys(pass, "computeSideFields")
+	encodeOnly := classificationKeys(pass, "encodeOnlyFields")
+
+	for _, f := range opts.fields {
+		name := f.Names[0].Name
+		pos := f.Names[0].Pos()
+		inCompute := computeSide[name]
+		inEncode := encodeOnly[name]
+		switch {
+		case inCompute && inEncode:
+			pass.Reportf(pos, "Options.%s is classified both compute-side and encode-only", name)
+		case inCompute && !read[name]:
+			pass.Reportf(pos, "Options.%s is classified compute-side but computeKey never reads it: "+
+				"the cache would serve stale results when it changes", name)
+		case inEncode && read[name]:
+			pass.Reportf(pos, "Options.%s is classified encode-only but computeKey reads it: "+
+				"encodings would stop sharing one compute", name)
+		case !inCompute && !inEncode:
+			pass.Reportf(pos, "Options.%s is unclassified: add it to computeSideFields (and computeKey) "+
+				"or to encodeOnlyFields, in the same change that adds the field", name)
+		}
+	}
+	return nil
+}
+
+type optionsStruct struct {
+	typ    types.Type
+	fields []*ast.Field
+}
+
+// lookupOptionsStruct finds a struct type named Options that has a
+// computeKey method declared in this package. Packages without the pair
+// are out of scope.
+func lookupOptionsStruct(pass *Pass) *optionsStruct {
+	obj := pass.Pkg.Scope().Lookup("Options")
+	if obj == nil {
+		return nil
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if !hasComputeKeyMethod(tn) {
+		return nil
+	}
+	// Locate the struct declaration for field positions.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Options" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return nil
+				}
+				var fields []*ast.Field
+				for _, f := range st.Fields.List {
+					if len(f.Names) > 0 {
+						fields = append(fields, f)
+					}
+				}
+				return &optionsStruct{typ: tn.Type(), fields: fields}
+			}
+		}
+	}
+	return nil
+}
+
+func hasComputeKeyMethod(tn *types.TypeName) bool {
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "computeKey" {
+			return true
+		}
+	}
+	return false
+}
+
+// computeKeyFieldReads returns the set of Options field names read (via
+// any selector) inside the computeKey method body.
+func computeKeyFieldReads(pass *Pass, optsType types.Type) map[string]bool {
+	read := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "computeKey" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pass.TypesInfo.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				if types.Identical(derefType(s.Recv()), optsType) {
+					read[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return read
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// classificationKeys reads the string keys of a package-level
+// `var name = map[string]bool{...}` composite literal. The classification
+// must live in the package proper (not a _test.go file) so both this
+// analyzer and the reflection guard can see it.
+func classificationKeys(pass *Pass, name string) map[string]bool {
+	keys := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if lit, ok := kv.Key.(*ast.BasicLit); ok {
+							if s, err := basicLitString(lit); err == nil {
+								keys[s] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolescape protects the zero-alloc hot paths PR 3 built on sync.Pool:
+// a pooled solver workspace that is taken with Get but never returned with
+// Put degrades the pool to an allocator — the benchmarks still pass
+// functionally while the steady-state alloc count silently climbs. The
+// rule is lexical and local by design: every (*sync.Pool).Get in a
+// function must be paired with a Put on the same pool somewhere in that
+// function (a deferred Put, or one inside a deferred closure, counts).
+// Acquire-helpers that intentionally hand the pooled value to their caller
+// carry a `//lint:allow poolescape <reason>` naming who is responsible for
+// the Put.
+var Poolescape = &Analyzer{
+	Name: "poolescape",
+	Doc: "flags sync.Pool.Get results that leave the function without a " +
+		"matching Put on the same pool",
+	Run: runPoolescape,
+}
+
+func runPoolescape(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolBalance(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkPoolBalance collects every Get and Put on sync.Pool values in the
+// function body (including nested closures — a deferred
+// `func() { pool.Put(x) }()` is the idiomatic release) and reports Gets
+// whose pool expression has no Put anywhere in the body.
+func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
+	type get struct {
+		pos  ast.Node
+		pool string
+	}
+	var gets []get
+	puts := map[string]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isSyncPool(pass, sel.X) {
+			return true
+		}
+		pool := exprString(sel.X)
+		switch sel.Sel.Name {
+		case "Get":
+			gets = append(gets, get{pos: call, pool: pool})
+		case "Put":
+			puts[pool] = true
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if puts[g.pool] {
+			continue
+		}
+		pass.Reportf(g.pos.Pos(), "%s.Get has no matching %s.Put in this function: "+
+			"the pooled workspace escapes and the zero-alloc path degrades to allocation "+
+			"(defer the Put, or annotate //lint:allow poolescape <who puts it back>)",
+			g.pool, g.pool)
+	}
+}
+
+// isSyncPool reports whether the expression's type is sync.Pool or
+// *sync.Pool.
+func isSyncPool(pass *Pass, x ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,48 @@
+// Package fixture plants cachekey violations: an Options struct with a
+// computeKey method whose classification maps disagree with what the key
+// actually hashes.
+package fixture
+
+import (
+	"hash/fnv"
+	"io"
+	"strconv"
+)
+
+// Options mirrors repro.Options: some fields reach the models
+// (compute-side, hashed into the cache key), some only affect encoding.
+type Options struct {
+	// MeshN is compute-side and correctly hashed.
+	MeshN int
+	// Tol claims to be compute-side but computeKey ignores it.
+	Tol float64 // want "Options.Tol is classified compute-side but computeKey never reads it"
+	// Plot is encode-only and correctly excluded.
+	Plot bool
+	// Verbose claims to be encode-only but computeKey hashes it.
+	Verbose bool // want "Options.Verbose is classified encode-only but computeKey reads it"
+	// Debug was added without classifying it at all.
+	Debug bool // want "Options.Debug is unclassified"
+	// Both is listed in both maps.
+	Both string // want "Options.Both is classified both compute-side and encode-only"
+}
+
+var computeSideFields = map[string]bool{
+	"MeshN": true,
+	"Tol":   true,
+	"Both":  true,
+}
+
+var encodeOnlyFields = map[string]bool{
+	"Plot":    true,
+	"Verbose": true,
+	"Both":    true,
+}
+
+func (o Options) computeKey() string {
+	h := fnv.New64a()
+	io.WriteString(h, strconv.Itoa(o.MeshN))
+	if o.Verbose {
+		io.WriteString(h, "v")
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

@@ -1,0 +1,69 @@
+// Package fixture plants detrange violations: map ranges on
+// output-producing paths, plus the two shapes the analyzer must accept
+// (collect-then-sort, and an explicit allow annotation).
+package fixture
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Plain range over a map feeding output: nondeterministic bytes.
+func emit(m map[string]int) {
+	for k, v := range m { // want "range over map m in an output-producing package"
+		fmt.Println(k, v)
+	}
+}
+
+// The canonical deterministic idiom: collect keys, sort, index.
+func emitSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// slices.Sort counts as sorting too.
+func emitSlicesSorted(m map[int]string) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		fmt.Println(m[k])
+	}
+}
+
+// Collecting without sorting is still nondeterministic.
+func collectUnsorted(m map[string]bool) []string {
+	var keys []string
+	for k := range m { // want "range over map m in an output-producing package"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Key ignored, value used: not the collect idiom.
+func sumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "range over map m in an output-producing package"
+		total += v
+	}
+	return total
+}
+
+// An order-insensitive use a human vouches for.
+func countAllowed(m map[string]int) int {
+	n := 0
+	//lint:allow detrange order-insensitive count, no output depends on order
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+// Package fixture plants poolescape violations: sync.Pool Gets whose
+// pooled value leaves the function with no Put to balance them.
+package fixture
+
+import "sync"
+
+type ws struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(ws) }}
+
+// Balanced: the idiomatic deferred Put.
+func balanced() int {
+	w := pool.Get().(*ws)
+	defer pool.Put(w)
+	return len(w.buf)
+}
+
+// Balanced: the Put lives inside a deferred closure.
+func deferredClosure() int {
+	w := pool.Get().(*ws)
+	defer func() { pool.Put(w) }()
+	return len(w.buf)
+}
+
+// Leak: the workspace escapes to the caller with no Put anywhere here.
+func leak() *ws {
+	return pool.Get().(*ws) // want "pool.Get has no matching pool.Put in this function"
+}
+
+// Leak: taken and abandoned.
+func abandon() int {
+	w := pool.Get().(*ws) // want "pool.Get has no matching pool.Put in this function"
+	return cap(w.buf)
+}
+
+// An acquire-helper that hands ownership out on purpose, with the
+// annotation naming who releases.
+func acquire() *ws {
+	//lint:allow poolescape released by callers via release()
+	return pool.Get().(*ws)
+}
+
+func release(w *ws) { pool.Put(w) }
+
+type holder struct{ p sync.Pool }
+
+// Field-pool Get with no matching Put on the same pool expression.
+func (h *holder) take() *ws {
+	return h.p.Get().(*ws) // want "h.p.Get has no matching h.p.Put in this function"
+}
+
+// Field-pool balanced.
+func (h *holder) use() int {
+	w := h.p.Get().(*ws)
+	defer h.p.Put(w)
+	return len(w.buf)
+}

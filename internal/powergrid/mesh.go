@@ -97,10 +97,11 @@ func (m *Mesh) Solve() (maxDropV float64, err error) {
 	// mathx iteration-count test pins ≤ 25 through n = 255). The solution
 	// aliases the pooled workspace, so the max-drop reduction below must
 	// happen before the solver is pooled.
-	sol, _, err := mat.SolveMGW(&sv.ws, sv.mg, sv.rhs, 1e-10, 20*asm.cnt)
+	sol, iters, err := mat.SolveMGW(&sv.ws, sv.mg, sv.rhs, 1e-10, 20*asm.cnt)
 	if err != nil {
 		return 0, fmt.Errorf("powergrid: mesh solve: %w", err)
 	}
+	recordSolve(iters)
 	for _, v := range sol {
 		// Drops are positive (current flows into the pinned bump).
 		if d := math.Abs(v); d > maxDropV {

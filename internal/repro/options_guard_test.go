@@ -5,29 +5,13 @@ import (
 	"testing"
 )
 
-// Every Options field must be explicitly classified. computeSide fields
-// reach the models and MUST change computeKey when they change; encodeOnly
-// fields affect encoding or cache policy only and MUST NOT. A field in
-// neither set fails the suite: whoever adds an Options field decides — in
-// this file, in the same change — whether the cache key covers it, instead
-// of the key silently going stale (the failure mode the computeKey comment
-// used to merely warn about).
-var (
-	computeSideFields = map[string]bool{
-		"MeshN": true,
-	}
-	encodeOnlyFields = map[string]bool{
-		"CSVDir":  true,
-		"Plot":    true,
-		"Verbose": true,
-		"NoCache": true,
-	}
-)
-
 // TestComputeKeyCoversOptions is the reflection guard: it fails when
 // Options gains an unclassified field, when the classification lists drift
 // from the struct, and — the part that keeps the classification honest —
-// when computeKey's actual behavior disagrees with a field's class.
+// when computeKey's actual behavior disagrees with a field's class. The
+// classification itself (computeSideFields / encodeOnlyFields) lives in
+// options_class.go so the static cachekey analyzer reads the same source
+// of truth; this test remains the behavioral half of the gate.
 func TestComputeKeyCoversOptions(t *testing.T) {
 	rt := reflect.TypeOf(Options{})
 	seen := map[string]bool{}

@@ -16,6 +16,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"nanometer/internal/powergrid"
@@ -163,6 +164,9 @@ func Select(ids []string) ([]Artifact, error) {
 		for id := range want {
 			unknown = append(unknown, id)
 		}
+		// Sorted so the error message is deterministic — callers (CLI, HTTP
+		// error bodies, tests) see one stable spelling of the same mistake.
+		sort.Strings(unknown)
 		return nil, fmt.Errorf("repro: unknown artifact id(s) %v (use -list)", unknown)
 	}
 	return sel, nil

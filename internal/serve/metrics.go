@@ -2,6 +2,7 @@ package serve
 
 import (
 	"nanometer/internal/obs"
+	"nanometer/internal/powergrid"
 	"nanometer/internal/repro"
 )
 
@@ -55,6 +56,16 @@ func newMetrics(g *gate) *metrics {
 	reg.GaugeFunc("nanoreprod_cache_entries",
 		"Memoized results currently held by the compute cache.",
 		func() float64 { return float64(repro.ReadCacheStats().Entries) })
+	// Mesh-solver health: the MG-PCG iteration count is near-constant per
+	// mesh size by construction, so iterations_total/solves_total drifting
+	// upward flags a numerical regression (smoother, prolongation, coarse
+	// solve) from a dashboard instead of a benchmark run.
+	reg.CounterFunc("nanoreprod_mesh_solves_total",
+		"Completed power-grid mesh solves.",
+		func() float64 { return float64(powergrid.ReadSolveStats().Solves) })
+	reg.CounterFunc("nanoreprod_mesh_solve_iterations_total",
+		"Total MG-PCG iterations spent in mesh solves.",
+		func() float64 { return float64(powergrid.ReadSolveStats().Iterations) })
 	// Admission-gate visibility: how loaded the compute pool is and how
 	// deep the queue behind it runs.
 	reg.GaugeFunc("nanoreprod_gate_in_flight_units",

@@ -1,0 +1,153 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzUnits is the unit vocabulary the round-trip fuzzer cycles through:
+// plain units, the empty unit, percent, and units that begin with a
+// prefix letter (the ambiguity ParseEngineering's explicit-unit API
+// resolves).
+var fuzzUnits = []string{"s", "V", "W", "A/m", "", "%", "m", "mol", "µm"}
+
+// FuzzEngineeringRoundTrip checks format → parse lands within the
+// precision the formatted string actually carries: Engineering rounds to
+// dec decimals at prefix scale, so the parsed value may differ from the
+// input by at most half a unit in the last printed place (plus float
+// slack), and NaN/±Inf round-trip exactly.
+func FuzzEngineeringRoundTrip(f *testing.F) {
+	f.Add(3.2e-9, uint8(3), uint8(0))
+	f.Add(0.0, uint8(2), uint8(1))
+	f.Add(-4.7e6, uint8(4), uint8(2))
+	f.Add(1e300, uint8(3), uint8(3))
+	f.Add(-1e-300, uint8(2), uint8(4))
+	f.Add(math.Inf(1), uint8(3), uint8(0))
+	f.Add(math.NaN(), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, v float64, digits, unitSel uint8) {
+		d := int(digits%10) + 1 // Engineering is specified for small digit counts
+		unit := fuzzUnits[int(unitSel)%len(fuzzUnits)]
+
+		formatted := Engineering(v, unit, d)
+		parsed, err := ParseEngineering(formatted, unit)
+		if err != nil {
+			t.Fatalf("ParseEngineering(%q, %q) after Engineering(%g): %v", formatted, unit, v, err)
+		}
+		if math.IsNaN(v) {
+			if !math.IsNaN(parsed) {
+				t.Fatalf("NaN round-tripped to %g via %q", parsed, formatted)
+			}
+			return
+		}
+		if math.IsInf(v, 0) {
+			if parsed != v {
+				t.Fatalf("%g round-tripped to %g via %q", v, parsed, formatted)
+			}
+			return
+		}
+		tol := roundTripTolerance(t, formatted, unit, v)
+		if diff := math.Abs(parsed - v); diff > tol {
+			t.Fatalf("Engineering(%g, %q, %d) = %q parsed back to %g: off by %g (tolerance %g)",
+				v, unit, d, formatted, parsed, diff, tol)
+		}
+	})
+}
+
+// roundTripTolerance recovers the precision of the formatted string: half
+// a unit in the last printed decimal at the prefix scale, plus relative
+// slack for float parse/multiply rounding at extreme magnitudes.
+func roundTripTolerance(t *testing.T, formatted, unit string, v float64) float64 {
+	t.Helper()
+	body := strings.TrimSuffix(formatted, unit)
+	scale := 1.0
+	runes := []rune(strings.TrimSuffix(body, " "))
+	if len(runes) > 0 {
+		if exp, ok := prefixExp(runes[len(runes)-1]); ok {
+			scale = pow10(exp)
+			runes = runes[:len(runes)-1]
+		}
+	}
+	num := strings.TrimSuffix(string(runes), " ")
+	dec := 0
+	if i := strings.IndexByte(num, '.'); i >= 0 {
+		dec = len(num) - i - 1
+	}
+	return 0.51*pow10(-dec)*scale + 1e-12*math.Abs(v)
+}
+
+// FuzzParseEngineering throws arbitrary strings at the parser: it must
+// never panic, and whenever it accepts, re-formatting the value with
+// generous precision and re-parsing must agree exactly (the parser is a
+// function, not a guesser).
+func FuzzParseEngineering(f *testing.F) {
+	f.Add("3.20 ns", uint8(0))
+	f.Add("-0.00 fs", uint8(0))
+	f.Add("1000 TV", uint8(1))
+	f.Add("NaN s", uint8(0))
+	f.Add("+Inf %", uint8(5))
+	f.Add("garbage", uint8(2))
+	f.Add("1.0e3 kW", uint8(2))
+	f.Add("", uint8(0))
+	f.Fuzz(func(t *testing.T, s string, unitSel uint8) {
+		unit := fuzzUnits[int(unitSel)%len(fuzzUnits)]
+		v, err := ParseEngineering(s, unit)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) {
+			return
+		}
+		again, err := ParseEngineering(Engineering(v, unit, 17), unit)
+		if err != nil {
+			t.Fatalf("accepted %q (= %g) but rejected its re-formatting: %v", s, v, err)
+		}
+		// 17 significant digits pin a float64 exactly except for the
+		// prefix rescale, which can cost one ulp each way.
+		if again != v && !ApproxEqual(again, v, 1e-14, 0) {
+			t.Fatalf("parse(%q) = %v but re-parse of its formatting = %v", s, v, again)
+		}
+	})
+}
+
+// TestParseEngineeringKnown pins exact inverse pairs and the error paths
+// the fuzzers only probabilistically reach.
+func TestParseEngineeringKnown(t *testing.T) {
+	for _, tc := range []struct {
+		s, unit string
+		want    float64
+	}{
+		{"3.20 ns", "s", 3.2e-9},
+		{"5.00 m", "m", 5},
+		{"2.00 mol", "mol", 2},
+		{"120 mV", "V", 0.12},
+		{"0.25 µm", "m", 0.25e-6},
+		{"42.0 %", "%", 42},
+		{"7.5 k", "", 7500},
+		{"1.00 TW", "W", 1e12},
+		{"-3.1 fA/m", "A/m", -3.1e-15},
+	} {
+		got, err := ParseEngineering(tc.s, tc.unit)
+		if err != nil {
+			t.Errorf("ParseEngineering(%q, %q): %v", tc.s, tc.unit, err)
+			continue
+		}
+		if !ApproxEqual(got, tc.want, 1e-12, 0) {
+			t.Errorf("ParseEngineering(%q, %q) = %g, want %g", tc.s, tc.unit, got, tc.want)
+		}
+	}
+	for _, tc := range []struct{ s, unit string }{
+		{"", "s"},
+		{"s", "s"},
+		{" s", "s"},
+		{"3.2ns", "s"},   // missing space
+		{"3.2 nV", "s"},  // wrong unit
+		{"x.y ns", "s"},  // not a number
+		{"1 2 ns", "s"},  // embedded space
+		{"3.20 ks", "V"}, // unit mismatch
+	} {
+		if v, err := ParseEngineering(tc.s, tc.unit); err == nil {
+			t.Errorf("ParseEngineering(%q, %q) = %g, want error", tc.s, tc.unit, v)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseEngineering parses a string produced by Engineering back into SI
+// base units: ParseEngineering("3.20 ns", "s") == 3.2e-9. The caller
+// states the unit, which removes the inherent ambiguity between a prefix
+// and a unit that starts with a prefix letter ("5.00 m" as meters vs
+// milli-something: with unit "m" it is 5 meters). The number may carry any
+// prefix from the same table Engineering formats with, or none, and the
+// NaN/±Inf spellings Engineering emits round-trip too.
+//
+// This is the trust-boundary inverse of the formatter: query parameters
+// and config values quoted in engineering form ("0.25 µm", "120 mV")
+// funnel through here instead of ad-hoc string surgery at each call site.
+func ParseEngineering(s, unit string) (float64, error) {
+	body, ok := strings.CutSuffix(s, unit)
+	if !ok {
+		return 0, fmt.Errorf("units: %q does not end in unit %q", s, unit)
+	}
+	scale := 1.0
+	if r, size := utf8.DecodeLastRuneInString(body); size > 0 {
+		if exp, ok := prefixExp(r); ok {
+			scale = pow10(exp)
+			body = body[:len(body)-size]
+		}
+	}
+	num, ok := strings.CutSuffix(body, " ")
+	if !ok || num == "" {
+		return 0, fmt.Errorf("units: %q is not of the form \"<number> <prefix><unit>\"", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parsing %q: %w", s, err)
+	}
+	return v * scale, nil
+}
+
+// prefixExp maps an SI prefix rune to its power-of-ten exponent, using the
+// same table Engineering formats from.
+func prefixExp(r rune) (int, bool) {
+	for _, p := range siPrefixes {
+		if p.symbol != "" && []rune(p.symbol)[0] == r {
+			return p.exp, true
+		}
+	}
+	return 0, false
+}
+
+// pow10 returns 10^exp for the prefix exponents (multiples of 3 in
+// [-15, 12]) without math.Pow's rounding surprises at negative exponents:
+// dividing by the exact positive power keeps 1/1000 bit-identical to the
+// scale constants the rest of the module multiplies with.
+func pow10(exp int) float64 {
+	neg := exp < 0
+	if neg {
+		exp = -exp
+	}
+	p := 1.0
+	for i := 0; i < exp; i++ {
+		p *= 10
+	}
+	if neg {
+		return 1 / p
+	}
+	return p
+}
