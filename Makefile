@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify bench bench-all bench-mesh bench-report serve bench-serve
+.PHONY: all build test race vet lint verify bench bench-all bench-mesh bench-report serve bench-serve bench-replicas
 
 all: verify
 
@@ -19,6 +19,7 @@ BENCH_BASELINE ?= bench_seed.json
 bench:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASELINE)
 	$(MAKE) bench-serve
+	$(MAKE) bench-replicas
 
 # The HTTP daemon on :8077 (override: make serve ADDR=:9000).
 ADDR ?= :8077
@@ -30,6 +31,15 @@ serve:
 # percentiles, and the server's cache/gate counters.
 bench-serve:
 	$(GO) run ./cmd/nanoreprod -loadgen -requests 200 -concurrency 8
+
+# Replica-scaling run: sweeps 1/2/4 in-process replicas over one shared
+# result store (fresh compute cache and store per round) and pins the
+# replicas × throughput × p99 table — plus the singleflight-collapse
+# demonstration (16 identical mesh-n=255 requests → 1 solve) — to
+# BENCH_REPLICAS_OUT.
+BENCH_REPLICAS_OUT ?= BENCH_6.json
+bench-replicas:
+	$(GO) run ./cmd/nanoreprod -loadgen -replica-bench 1,2,4 -requests 200 -concurrency 16 -bench-out $(BENCH_REPLICAS_OUT)
 
 build:
 	$(GO) build ./...

@@ -2,44 +2,83 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"nanometer/internal/powergrid"
 	"nanometer/internal/repro"
 	"nanometer/internal/serve"
+	"nanometer/internal/store"
 )
 
 // runLoadgen fires a concurrent artifact-request mix at a daemon and
 // prints a throughput/latency/cache summary — the serving-layer companion
 // to cmd/benchjson's solver numbers in `make bench`. With no -base it
-// starts its own in-process daemon first, so a single command measures the
-// full stack cold-to-warm.
+// starts its own in-process replicas first (one by default, -replicas R
+// for a multi-replica run over one shared store), so a single command
+// measures the full stack cold-to-warm. -replica-bench sweeps replica
+// counts and pins the scaling curve to -bench-out.
 func runLoadgen() error {
-	baseURL := *base
-	if baseURL == "" {
-		s := serve.New(serve.Config{GateUnits: *gate, Timeout: *timeout, Jobs: *jobs})
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		srv := &http.Server{Handler: s.Handler()}
-		go srv.Serve(ln)
-		defer srv.Close()
-		baseURL = "http://" + ln.Addr().String()
-		fmt.Printf("loadgen: started in-process daemon on %s\n", baseURL)
+	if *replicaBench != "" {
+		return runReplicaBench()
 	}
-	baseURL = strings.TrimRight(baseURL, "/")
+	bases, shutdown, err := loadgenBases(*replicas)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
 
-	ids := strings.Split(*targets, ",")
+	sum := fire(bases, fireConfig{
+		requests: *requests,
+		workers:  *concurrency,
+		targets:  loadgenTargets(),
+		format:   *lgFormat,
+		meshN:    *lgMeshN,
+	})
+	fmt.Printf("loadgen: %d requests (%d targets × format=%s), %d replicas, %d clients, %d errors\n",
+		sum.requests, len(loadgenTargets()), *lgFormat, len(bases), *concurrency, len(sum.failed))
+	fmt.Printf("loadgen: wall %.3fs, %.1f req/s, %.1f KB read\n",
+		sum.elapsed.Seconds(), float64(len(sum.ok))/sum.elapsed.Seconds(), float64(sum.bytes)/1024)
+	if len(sum.ok) > 0 {
+		fmt.Printf("loadgen: latency p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(sum.ok, 50), pct(sum.ok, 90), pct(sum.ok, 99), sum.ok[len(sum.ok)-1])
+	}
+	// Failed requests are a distribution of their own — folding them into
+	// the success percentiles (or dropping them silently) would let a
+	// fast-failing server look fast.
+	if len(sum.failed) > 0 {
+		fmt.Printf("loadgen: failed-request latency p50 %s  p99 %s  max %s\n",
+			pct(sum.failed, 50), pct(sum.failed, 99), sum.failed[len(sum.failed)-1])
+	}
+	// The server-side view: cache/store effectiveness, singleflight
+	// collapse, peer traffic, solver work, and admission pressure.
+	client := &http.Client{Timeout: *timeout + 5*time.Second}
+	for _, b := range bases {
+		if err := printMetrics(client, b,
+			"nanoreprod_cache_", "nanoreprod_store_", "nanoreprod_singleflight_",
+			"nanoreprod_peer_", "nanoreprod_mesh_solves_total",
+			"nanoreprod_gate_rejections_total", "nanoreprod_request_timeouts_total"); err != nil {
+			return fmt.Errorf("scraping %s/metrics: %w", b, err)
+		}
+	}
+	return nil
+}
+
+// loadgenTargets resolves -targets (empty = the whole registry).
+func loadgenTargets() []string {
 	var clean []string
-	for _, id := range ids {
+	for _, id := range strings.Split(*targets, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			clean = append(clean, id)
 		}
@@ -49,23 +88,83 @@ func runLoadgen() error {
 			clean = append(clean, a.ID)
 		}
 	}
+	return clean
+}
 
-	n := *requests
+// loadgenBases returns the base URLs to fire at: the -base daemon when
+// given, otherwise n freshly started in-process replicas. Replicas share
+// one result store when -store is set (and, unavoidably, the process-wide
+// compute cache — cross-process cold-start behavior is CI's multi-replica
+// smoke job, not this benchmark's subject).
+func loadgenBases(n int) (bases []string, shutdown func(), err error) {
+	if *base != "" {
+		return []string{strings.TrimRight(*base, "/")}, func() {}, nil
+	}
 	if n < 1 {
 		n = 1
 	}
-	workers := *concurrency
+	st, err := openStore()
+	if err != nil {
+		return nil, nil, err
+	}
+	var srvs []*http.Server
+	shutdown = func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{GateUnits: *gate, Timeout: *timeout, Jobs: *jobs, Store: st})
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			shutdown()
+			return nil, nil, lerr
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		go srv.Serve(ln)
+		srvs = append(srvs, srv)
+		bases = append(bases, "http://"+ln.Addr().String())
+	}
+	fmt.Printf("loadgen: started %d in-process replica(s): %s\n", n, strings.Join(bases, " "))
+	return bases, shutdown, nil
+}
+
+// fireConfig parameterizes one load round.
+type fireConfig struct {
+	requests int
+	workers  int
+	targets  []string
+	format   string
+	meshN    int
+}
+
+// fireSummary is the client-side outcome of one round; ok and failed are
+// sorted latency distributions.
+type fireSummary struct {
+	requests   int
+	elapsed    time.Duration
+	ok, failed []time.Duration
+	bytes      int64
+}
+
+// fire runs the request mix, spreading request i over bases[i%len] and
+// targets[i%len].
+func fire(bases []string, cfg fireConfig) fireSummary {
+	n := cfg.requests
+	if n < 1 {
+		n = 1
+	}
+	workers := cfg.workers
 	if workers < 1 {
 		workers = 1
 	}
 	client := &http.Client{Timeout: *timeout + 5*time.Second}
-
 	var (
 		next      atomic.Int64
-		errs      atomic.Int64
 		bytesRead atomic.Int64
 		mu        sync.Mutex
-		durations []time.Duration
+		ok        []time.Duration
+		failed    []time.Duration
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -73,59 +172,281 @@ func runLoadgen() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]time.Duration, 0, n/workers+1)
+			localOK := make([]time.Duration, 0, n/workers+1)
+			var localFailed []time.Duration
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					break
 				}
-				id := clean[i%int64(len(clean))]
-				url := fmt.Sprintf("%s/api/v1/artifacts/%s?format=%s", baseURL, id, *lgFormat)
+				id := cfg.targets[i%int64(len(cfg.targets))]
+				url := fmt.Sprintf("%s/api/v1/artifacts/%s?format=%s", bases[i%int64(len(bases))], id, cfg.format)
+				if cfg.meshN > 0 {
+					url += "&mesh-n=" + strconv.Itoa(cfg.meshN)
+				}
 				t0 := time.Now()
 				resp, err := client.Get(url)
 				if err != nil {
-					errs.Add(1)
+					localFailed = append(localFailed, time.Since(t0))
 					continue
 				}
 				nb, _ := io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
-					errs.Add(1)
+					localFailed = append(localFailed, time.Since(t0))
 					continue
 				}
 				bytesRead.Add(nb)
-				local = append(local, time.Since(t0))
+				localOK = append(localOK, time.Since(t0))
 			}
 			mu.Lock()
-			durations = append(durations, local...)
+			ok = append(ok, localOK...)
+			failed = append(failed, localFailed...)
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-
-	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
-	fmt.Printf("loadgen: %d requests (%d artifacts × format=%s), %d clients, %d errors\n",
-		n, len(clean), *lgFormat, workers, errs.Load())
-	fmt.Printf("loadgen: wall %.3fs, %.1f req/s, %.1f KB read\n",
-		elapsed.Seconds(), float64(len(durations))/elapsed.Seconds(), float64(bytesRead.Load())/1024)
-	if len(durations) > 0 {
-		fmt.Printf("loadgen: latency p50 %s  p90 %s  p99 %s  max %s\n",
-			pct(durations, 50), pct(durations, 90), pct(durations, 99), durations[len(durations)-1])
-	}
-	// The server-side view: cache effectiveness and admission pressure.
-	if err := printMetrics(client, baseURL, "nanoreprod_cache_", "nanoreprod_gate_rejections_total", "nanoreprod_request_timeouts_total"); err != nil {
-		return fmt.Errorf("scraping /metrics: %w", err)
-	}
-	return nil
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	return fireSummary{requests: n, elapsed: elapsed, ok: ok, failed: failed, bytes: bytesRead.Load()}
 }
 
+// pct returns the nearest-rank percentile of a sorted sample: the smallest
+// element with at least p% of the distribution at or below it, i.e. index
+// ceil(p·N/100)−1 — for 10 samples p50 is element 4 (the 5th), not
+// element 5 (which is the 60th percentile).
 func pct(sorted []time.Duration, p int) time.Duration {
-	idx := p * len(sorted) / 100
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted)+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx].Round(10 * time.Microsecond)
+}
+
+// benchRow is one replica-scaling measurement in BENCH_6.json.
+type benchRow struct {
+	Replicas           int     `json:"replicas"`
+	Requests           int     `json:"requests"`
+	Errors             int     `json:"errors"`
+	ThroughputRPS      float64 `json:"throughput_rps"`
+	P50Ms              float64 `json:"p50_ms"`
+	P99Ms              float64 `json:"p99_ms"`
+	SingleflightShared float64 `json:"singleflight_shared"`
+	StoreHits          uint64  `json:"store_hits"`
+	MeshSolves         uint64  `json:"mesh_solves"`
+}
+
+// collapseRow pins the K-identical-requests acceptance demo: K concurrent
+// requests for one heavy key must run exactly one solve, with the other
+// K−1 collapsed onto it.
+type collapseRow struct {
+	K                  int     `json:"k"`
+	Target             string  `json:"target"`
+	MeshN              int     `json:"mesh_n"`
+	MeshSolves         uint64  `json:"mesh_solves"`
+	SingleflightShared float64 `json:"singleflight_shared"`
+	Errors             int     `json:"errors"`
+}
+
+// runReplicaBench sweeps -replica-bench replica counts over one scenario
+// per round (fresh compute cache, fresh store directory each round, so
+// rounds are comparable) and writes the scaling table plus the
+// singleflight-collapse demonstration to -bench-out.
+func runReplicaBench() error {
+	var counts []int
+	for _, p := range strings.Split(*replicaBench, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		r, err := strconv.Atoi(p)
+		if err != nil || r < 1 {
+			return fmt.Errorf("loadgen: bad -replica-bench element %q", p)
+		}
+		counts = append(counts, r)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("loadgen: -replica-bench is empty")
+	}
+	client := &http.Client{Timeout: *timeout + 5*time.Second}
+
+	var rows []benchRow
+	for _, r := range counts {
+		repro.ResetCache()
+		dir, err := os.MkdirTemp("", "nanostore-bench-")
+		if err != nil {
+			return err
+		}
+		st, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			return err
+		}
+		repro.SetResultStore(st)
+		cacheBefore := repro.ReadCacheStats()
+		solvesBefore := powergrid.ReadSolveStats().Solves
+
+		bases, shutdown, err := startReplicas(r, st)
+		if err != nil {
+			return err
+		}
+		sum := fire(bases, fireConfig{
+			requests: *requests,
+			workers:  *concurrency,
+			targets:  loadgenTargets(),
+			format:   *lgFormat,
+			meshN:    *lgMeshN,
+		})
+		shared := 0.0
+		for _, b := range bases {
+			v, serr := scrapeMetric(client, b, "nanoreprod_singleflight_shared_total")
+			if serr != nil {
+				shutdown()
+				os.RemoveAll(dir)
+				return serr
+			}
+			shared += v
+		}
+		shutdown()
+		cacheAfter := repro.ReadCacheStats()
+		row := benchRow{
+			Replicas:           r,
+			Requests:           sum.requests,
+			Errors:             len(sum.failed),
+			ThroughputRPS:      round2(float64(len(sum.ok)) / sum.elapsed.Seconds()),
+			P50Ms:              round2(pct(sum.ok, 50).Seconds() * 1000),
+			P99Ms:              round2(pct(sum.ok, 99).Seconds() * 1000),
+			SingleflightShared: shared,
+			StoreHits:          cacheAfter.StoreHits - cacheBefore.StoreHits,
+			MeshSolves:         powergrid.ReadSolveStats().Solves - solvesBefore,
+		}
+		rows = append(rows, row)
+		fmt.Printf("loadgen: replicas=%d %.1f req/s p50=%.2fms p99=%.2fms errors=%d shared=%.0f store_hits=%d solves=%d\n",
+			row.Replicas, row.ThroughputRPS, row.P50Ms, row.P99Ms, row.Errors,
+			row.SingleflightShared, row.StoreHits, row.MeshSolves)
+		os.RemoveAll(dir)
+	}
+	repro.SetResultStore(nil)
+
+	collapse, err := runCollapseDemo(client)
+	if err != nil {
+		return err
+	}
+
+	doc := struct {
+		GeneratedAt string        `json:"generated_at"`
+		GoVersion   string        `json:"go_version"`
+		GOMAXPROCS  int           `json:"gomaxprocs"`
+		Requests    int           `json:"requests"`
+		Concurrency int           `json:"concurrency"`
+		Format      string        `json:"format"`
+		Targets     string        `json:"targets"`
+		Rows        []benchRow    `json:"rows"`
+		Collapse    []collapseRow `json:"singleflight_collapse"`
+	}{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Format:      *lgFormat,
+		Targets:     strings.Join(loadgenTargets(), ","),
+		Rows:        rows,
+		Collapse:    collapse,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*benchOut, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: wrote %s (%d replica rows)\n", *benchOut, len(rows))
+	return nil
+}
+
+// runCollapseDemo fires K=16 identical mesh-n=255 requests at one fresh
+// replica: the acceptance demonstration that duplicates collapse onto one
+// leader (one mesh-solve run, K−1 shared).
+func runCollapseDemo(client *http.Client) ([]collapseRow, error) {
+	const k, meshN, target = 16, 255, "c8"
+	repro.ResetCache()
+	solvesBefore := powergrid.ReadSolveStats().Solves
+	bases, shutdown, err := startReplicas(1, nil)
+	if err != nil {
+		return nil, err
+	}
+	sum := fire(bases, fireConfig{requests: k, workers: k, targets: []string{target}, format: "text", meshN: meshN})
+	shared, err := scrapeMetric(client, bases[0], "nanoreprod_singleflight_shared_total")
+	shutdown()
+	if err != nil {
+		return nil, err
+	}
+	row := collapseRow{
+		K:                  k,
+		Target:             target,
+		MeshN:              meshN,
+		MeshSolves:         powergrid.ReadSolveStats().Solves - solvesBefore,
+		SingleflightShared: shared,
+		Errors:             len(sum.failed),
+	}
+	fmt.Printf("loadgen: collapse demo k=%d mesh-n=%d → solves=%d shared=%.0f errors=%d\n",
+		row.K, row.MeshN, row.MeshSolves, row.SingleflightShared, row.Errors)
+	repro.ResetCache()
+	return []collapseRow{row}, nil
+}
+
+// startReplicas boots n in-process replicas over one (optional) store.
+func startReplicas(n int, st *store.Store) (bases []string, shutdown func(), err error) {
+	var srvs []*http.Server
+	shutdown = func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{GateUnits: *gate, Timeout: *timeout, Jobs: *jobs, Store: st})
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			shutdown()
+			return nil, nil, lerr
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		go srv.Serve(ln)
+		srvs = append(srvs, srv)
+		bases = append(bases, "http://"+ln.Addr().String())
+	}
+	return bases, shutdown, nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+// scrapeMetric reads one plain (label-free) sample value off /metrics.
+func scrapeMetric(client *http.Client, baseURL, name string) (float64, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found on %s", name, baseURL)
 }
 
 // printMetrics scrapes the daemon and echoes the sample lines matching any

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPctNearestRank pins the nearest-rank definition: element
+// ceil(p·N/100)−1 of the sorted sample. The old `p*N/100` indexing was off
+// by one rank — for 10 samples it reported the 6th element as p50 (the
+// 60th percentile) and clamped p99 onto p100.
+func TestPctNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ten := make([]time.Duration, 10)
+	for i := range ten {
+		ten[i] = ms(i + 1) // 1ms..10ms
+	}
+	for _, tc := range []struct {
+		name   string
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{"p50 of 10 is the 5th", ten, 50, ms(5)},
+		{"p90 of 10 is the 9th", ten, 90, ms(9)},
+		{"p99 of 10 is the max", ten, 99, ms(10)},
+		{"p100 of 10 is the max", ten, 100, ms(10)},
+		{"p1 of 10 is the min", ten, 1, ms(1)},
+		{"p50 of 1", []time.Duration{ms(7)}, 50, ms(7)},
+		{"p99 of 1", []time.Duration{ms(7)}, 99, ms(7)},
+		{"p50 of 2 is the 1st", []time.Duration{ms(3), ms(9)}, 50, ms(3)},
+		{"p99 of 100", func() []time.Duration {
+			s := make([]time.Duration, 100)
+			for i := range s {
+				s[i] = ms(i + 1)
+			}
+			return s
+		}(), 99, ms(99)},
+		{"empty", nil, 99, 0},
+	} {
+		if got := pct(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: pct(%d) = %s, want %s", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", 0}, {"a", 1}, {"a,b", 2}, {" a , ,b,", 2},
+	} {
+		if got := splitList(tc.in); len(got) != tc.want {
+			t.Errorf("splitList(%q) = %v, want %d elements", tc.in, got, tc.want)
+		}
+	}
+}

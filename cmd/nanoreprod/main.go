@@ -45,10 +45,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"nanometer/internal/serve"
+	"nanometer/internal/store"
 )
 
 var (
@@ -58,12 +60,21 @@ var (
 	jobs    = flag.Int("jobs", runtime.NumCPU(), "workers for full-report requests")
 	drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 
-	loadgen     = flag.Bool("loadgen", false, "run as a load generator instead of a server")
-	base        = flag.String("base", "", "loadgen: base URL of a running daemon (empty = start one in-process)")
-	requests    = flag.Int("requests", 200, "loadgen: total requests")
-	concurrency = flag.Int("concurrency", 8, "loadgen: concurrent clients")
-	targets     = flag.String("targets", "", "loadgen: comma-separated artifact ids to cycle (empty = whole registry)")
-	lgFormat    = flag.String("format", "text", "loadgen: format query parameter")
+	storeDir    = flag.String("store", "", "directory for the disk-backed result store (empty = memory-only; share it between replicas to warm each other)")
+	peers       = flag.String("peers", "", "comma-separated replica member list (host:port each) for shared-compute mode; keys are rendezvous-hashed to an owner consulted before solving locally")
+	self        = flag.String("self", "", "this replica's own entry in -peers (default: the -addr value)")
+	peerTimeout = flag.Duration("peer-timeout", 0, "per-peer-fetch budget (0 = 2s); any peer failure falls through to a local solve")
+
+	loadgen      = flag.Bool("loadgen", false, "run as a load generator instead of a server")
+	base         = flag.String("base", "", "loadgen: base URL of a running daemon (empty = start one in-process)")
+	requests     = flag.Int("requests", 200, "loadgen: total requests")
+	concurrency  = flag.Int("concurrency", 8, "loadgen: concurrent clients")
+	targets      = flag.String("targets", "", "loadgen: comma-separated artifact ids to cycle (empty = whole registry)")
+	lgFormat     = flag.String("format", "text", "loadgen: format query parameter")
+	lgMeshN      = flag.Int("mesh-n", 0, "loadgen: mesh-n query parameter (0 = omit)")
+	replicas     = flag.Int("replicas", 1, "loadgen: in-process replicas to spread requests over (shared store when -store is set)")
+	replicaBench = flag.String("replica-bench", "", "loadgen: comma-separated replica counts to sweep (e.g. 1,2,4); writes rows to -bench-out")
+	benchOut     = flag.String("bench-out", "BENCH_6.json", "loadgen: output file for -replica-bench")
 )
 
 func main() {
@@ -81,9 +92,44 @@ func main() {
 	}
 }
 
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(v string) []string {
+	var out []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// openStore opens the -store directory when one is configured.
+func openStore() (*store.Store, error) {
+	if *storeDir == "" {
+		return nil, nil
+	}
+	return store.Open(store.Config{Dir: *storeDir})
+}
+
 func runServer() error {
 	logger := log.New(os.Stderr, "nanoreprod: ", log.LstdFlags)
-	s := serve.New(serve.Config{GateUnits: *gate, Timeout: *timeout, Jobs: *jobs})
+	st, err := openStore()
+	if err != nil {
+		return err
+	}
+	selfAddr := *self
+	if selfAddr == "" {
+		selfAddr = *addr
+	}
+	s := serve.New(serve.Config{
+		GateUnits:   *gate,
+		Timeout:     *timeout,
+		Jobs:        *jobs,
+		Store:       st,
+		Peers:       splitList(*peers),
+		Self:        selfAddr,
+		PeerTimeout: *peerTimeout,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -93,7 +139,8 @@ func runServer() error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving on http://%s (gate=%d units, timeout=%s)", ln.Addr(), *gate, *timeout)
+	logger.Printf("serving on http://%s (gate=%d units, timeout=%s, store=%q, peers=%d)",
+		ln.Addr(), *gate, *timeout, *storeDir, len(splitList(*peers)))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

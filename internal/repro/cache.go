@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"hash/fnv"
 	"io"
 	"strconv"
@@ -39,10 +40,11 @@ func init() { cache.Store(new(cacheState)) }
 const MaxCacheEntries = 256
 
 // Cumulative cache telemetry (monotonic across flushes, as scrape-friendly
-// counters must be). hits = served from an existing entry, misses = created
-// a new entry and computed, bypassed = computed uncached because the bound
-// was reached or NoCache was set.
-var cacheHits, cacheMisses, cacheBypassed atomic.Uint64
+// counters must be). hits = served from an existing entry, misses = filled
+// a new entry (from the result store or a fresh compute), bypassed =
+// computed uncached because the bound was reached or NoCache was set.
+// storeHits/storePuts track the second-level result store.
+var cacheHits, cacheMisses, cacheBypassed, storeHits, storePuts atomic.Uint64
 
 // CacheStats is a point-in-time snapshot of the compute cache counters.
 type CacheStats struct {
@@ -51,6 +53,10 @@ type CacheStats struct {
 	// (NoCache or entry bound reached). All three are cumulative for the
 	// process, surviving ResetCache.
 	Hits, Misses, Bypassed uint64
+	// StoreHits counts results served from the second-level result store
+	// instead of the solvers; StorePuts counts successful results
+	// persisted into it. Both are zero when no store is configured.
+	StoreHits, StorePuts uint64
 	// Entries is the current number of memoized results.
 	Entries int
 }
@@ -58,11 +64,58 @@ type CacheStats struct {
 // ReadCacheStats snapshots the cache counters for /metrics.
 func ReadCacheStats() CacheStats {
 	return CacheStats{
-		Hits:     cacheHits.Load(),
-		Misses:   cacheMisses.Load(),
-		Bypassed: cacheBypassed.Load(),
-		Entries:  int(cache.Load().n.Load()),
+		Hits:      cacheHits.Load(),
+		Misses:    cacheMisses.Load(),
+		Bypassed:  cacheBypassed.Load(),
+		StoreHits: storeHits.Load(),
+		StorePuts: storePuts.Load(),
+		Entries:   int(cache.Load().n.Load()),
 	}
+}
+
+// ErrUncomputed is returned by ComputeCached for CacheOnly options when the
+// result is in neither the in-memory cache nor the result store. It means
+// "answering would require running the models", never that the artifact is
+// broken — callers (the peer-forwarding layer) react by computing somewhere
+// else or dropping CacheOnly.
+var ErrUncomputed = errors.New("repro: result not cached")
+
+// ResultStore is the optional second-level result cache behind the
+// in-memory once-cells: a disk-backed (and typically replica-shared)
+// mapping of compute key → result. Get returns a previously stored result
+// or reports a miss; Put persists a freshly computed result. Both must be
+// safe for concurrent use, and both are best-effort — a store failure must
+// degrade to a miss / no-op, never an error, because the compute path can
+// always fall back to solving. Error results are never stored: ComputeCached
+// only calls Put with a successful compute, so a transient failure can
+// never be replayed out of the store.
+type ResultStore interface {
+	Get(artifactID, computeKey string) (*result.Result, bool)
+	Put(artifactID, computeKey string, res *result.Result)
+}
+
+// storeBox wraps the configured ResultStore so the atomic pointer swap
+// stays type-stable regardless of the concrete store implementation.
+type storeBox struct{ s ResultStore }
+
+var resultStore atomic.Pointer[storeBox]
+
+// SetResultStore installs (or, with nil, removes) the process-wide
+// second-level result store consulted by ComputeCached on a memory miss.
+func SetResultStore(s ResultStore) {
+	if s == nil {
+		resultStore.Store(nil)
+		return
+	}
+	resultStore.Store(&storeBox{s: s})
+}
+
+func loadResultStore() ResultStore {
+	b := resultStore.Load()
+	if b == nil {
+		return nil
+	}
+	return b.s
 }
 
 type computeCell struct {
@@ -74,9 +127,17 @@ type computeCell struct {
 // ComputeCached returns the artifact's typed result, computing it at most
 // once per process for a given compute-options hash. Results are shared and
 // must be treated as immutable by callers. opts.NoCache bypasses the cache
-// entirely.
+// entirely; opts.CacheOnly never computes (memory or store hit, else
+// ErrUncomputed).
+//
+// A failed compute is NOT memoized: the dead cell is evicted (and the
+// entry count released) as soon as the failure is observed, so concurrent
+// callers share the one failure but the next caller recomputes. This is
+// what keeps a transient error — a full disk, a cancelled dependency —
+// from poisoning the key forever, and it is why the result store can trust
+// that only successful results ever reach Put.
 func (a Artifact) ComputeCached(opts Options) (*result.Result, error) {
-	if opts.NoCache {
+	if opts.NoCache && !opts.CacheOnly {
 		cacheBypassed.Add(1)
 		return a.compute(opts)
 	}
@@ -84,11 +145,21 @@ func (a Artifact) ComputeCached(opts Options) (*result.Result, error) {
 	key := a.ID + "\x00" + opts.computeKey()
 	e, ok := st.m.Load(key)
 	if !ok {
+		if opts.CacheOnly {
+			return a.cacheOnlyFill(st, key, opts)
+		}
 		// Admit a new entry only under the bound. The check-then-store is
 		// approximate under contention (a burst of distinct keys can
 		// overshoot by the number of racing goroutines), which is fine:
 		// the bound defends against unbounded growth, not an exact count.
 		if st.n.Load() >= MaxCacheEntries {
+			// The store still answers past the bound (a restart-warmed
+			// result is cheaper than a solve), but bypassed computes are
+			// not persisted — a hostile key scan must not churn the disk
+			// store the way it cannot grow the memory cache.
+			if res, found := a.storeGet(opts); found {
+				return res, nil
+			}
 			cacheBypassed.Add(1)
 			return a.compute(opts)
 		}
@@ -102,21 +173,92 @@ func (a Artifact) ComputeCached(opts Options) (*result.Result, error) {
 	hit := true
 	cell.once.Do(func() {
 		hit = false
-		cell.res, cell.err = a.compute(opts)
+		cell.res, cell.err = a.fill(opts)
 	})
 	if hit {
 		cacheHits.Add(1)
 	} else {
 		cacheMisses.Add(1)
+		if cell.err != nil {
+			// Evict the dead cell so retries recompute. Only the goroutine
+			// that ran the fill evicts, and CompareAndDelete refuses if the
+			// generation was flushed meanwhile, so the count moves exactly
+			// once per admitted-then-failed entry.
+			if st.m.CompareAndDelete(key, e) {
+				st.n.Add(-1)
+			}
+		}
 	}
 	return cell.res, cell.err
 }
 
+// fill produces the value of a fresh cache cell: the result store first
+// (a restarted or sibling replica answers without solving), the models
+// otherwise, persisting only successful computes.
+func (a Artifact) fill(opts Options) (*result.Result, error) {
+	if res, found := a.storeGet(opts); found {
+		return res, nil
+	}
+	res, err := a.compute(opts)
+	if err != nil {
+		return nil, err
+	}
+	a.storePut(opts, res)
+	return res, nil
+}
+
+// cacheOnlyFill answers a CacheOnly miss of the in-memory map: a store hit
+// is installed as a regular cell (so later calls are memory hits) and
+// returned; a store miss is ErrUncomputed. It never runs the models.
+func (a Artifact) cacheOnlyFill(st *cacheState, key string, opts Options) (*result.Result, error) {
+	res, found := a.storeGet(opts)
+	if !found {
+		return nil, ErrUncomputed
+	}
+	if st.n.Load() < MaxCacheEntries {
+		e, loaded := st.m.LoadOrStore(key, &computeCell{})
+		if !loaded {
+			st.n.Add(1)
+		}
+		cell := e.(*computeCell)
+		cell.once.Do(func() { cell.res, cell.err = res, nil })
+		// A racing compute may own the cell; share its result if it
+		// succeeded, otherwise fall back to the copy the store just gave
+		// us (the racer's eviction logic owns the dead cell).
+		if cell.err == nil {
+			return cell.res, nil
+		}
+	}
+	return res, nil
+}
+
+func (a Artifact) storeGet(opts Options) (*result.Result, bool) {
+	s := loadResultStore()
+	if s == nil {
+		return nil, false
+	}
+	res, ok := s.Get(a.ID, opts.computeKey())
+	if !ok {
+		return nil, false
+	}
+	storeHits.Add(1)
+	return res, true
+}
+
+func (a Artifact) storePut(opts Options, res *result.Result) {
+	s := loadResultStore()
+	if s == nil {
+		return
+	}
+	s.Put(a.ID, opts.computeKey(), res)
+	storePuts.Add(1)
+}
+
 // computeKey hashes the options that reach the models. CSVDir, Plot,
-// Verbose, and NoCache only affect encoding (or cache policy) and are
-// deliberately excluded, so every encoding of one artifact shares a single
-// cache entry. Any compute-side option (today: MeshN) must be written into
-// this hash or the cache will serve stale results —
+// Verbose, NoCache, and CacheOnly only affect encoding (or cache policy)
+// and are deliberately excluded, so every encoding of one artifact shares
+// a single cache entry. Any compute-side option (today: MeshN) must be
+// written into this hash or the cache will serve stale results —
 // TestComputeKeyCoversOptions enforces the classification by reflection,
 // so adding a field to Options without teaching it to that test fails the
 // suite.
@@ -130,12 +272,15 @@ func (o Options) computeKey() string {
 
 // CacheKey exposes the compute-options hash. The serving layer folds it
 // into strong ETags: two requests whose options hash equal are guaranteed
-// the same cache entry, hence byte-identical artifact data.
+// the same cache entry, hence byte-identical artifact data. The result
+// store files and the peer-ownership hash use the same key, which is what
+// makes "equal ETag ⇒ equal bytes" hold across replicas too.
 func (o Options) CacheKey() string { return o.computeKey() }
 
 // ResetCache atomically drops every memoized result. Safe to call while
 // computes are in flight: a reader that already holds the old generation
 // finishes against it (and its result simply becomes unreachable); new
 // calls start on the empty generation. The daemon's cache-flush endpoint
-// and benchmarks use this; cumulative hit/miss counters are preserved.
+// and benchmarks use this; cumulative hit/miss counters are preserved, and
+// the result store is untouched (it exists to survive exactly this).
 func ResetCache() { cache.Store(new(cacheState)) }

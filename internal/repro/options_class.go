@@ -15,9 +15,10 @@ var (
 		"MeshN": true,
 	}
 	encodeOnlyFields = map[string]bool{
-		"CSVDir":  true,
-		"Plot":    true,
-		"Verbose": true,
-		"NoCache": true,
+		"CSVDir":    true,
+		"Plot":      true,
+		"Verbose":   true,
+		"NoCache":   true,
+		"CacheOnly": true,
 	}
 )

@@ -38,6 +38,13 @@ type Options struct {
 	// NoCache bypasses the process-wide result cache, forcing every
 	// render to recompute (benchmarks, freshness-critical callers).
 	NoCache bool
+	// CacheOnly makes ComputeCached answer from the in-memory cache or
+	// the result store only, returning ErrUncomputed instead of running
+	// the models. The serving layer's peer mode probes with this before
+	// deciding whether to forward a request to the key's owner replica.
+	// A cache-policy toggle like NoCache: it never reaches the models and
+	// must stay out of the compute key.
+	CacheOnly bool
 	// MeshN overrides the n×n power-grid validation mesh of the C8
 	// artifact (0 = the experiments default, 41). A compute-side option:
 	// it reaches the models, so it participates in the cache key. Callers

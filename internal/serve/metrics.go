@@ -4,6 +4,7 @@ import (
 	"nanometer/internal/obs"
 	"nanometer/internal/powergrid"
 	"nanometer/internal/repro"
+	"nanometer/internal/store"
 )
 
 // metrics is the daemon's instrument set, all registered on one obs
@@ -20,9 +21,14 @@ type metrics struct {
 	notModified    *obs.Counter    // nanoreprod_etag_not_modified_total
 	timeouts       *obs.Counter    // nanoreprod_request_timeouts_total
 	rejected       *obs.Counter    // nanoreprod_gate_rejections_total
+
+	singleflightShared *obs.Counter // nanoreprod_singleflight_shared_total
+	peerHits           *obs.Counter // nanoreprod_peer_hits_total
+	peerFallthrough    *obs.Counter // nanoreprod_peer_fallthrough_total
+	peerServes         *obs.Counter // nanoreprod_peer_result_requests_total
 }
 
-func newMetrics(g *gate) *metrics {
+func newMetrics(g *gate, st *store.Store) *metrics {
 	reg := &obs.Registry{}
 	m := &metrics{
 		reg:      reg,
@@ -40,6 +46,14 @@ func newMetrics(g *gate) *metrics {
 			"Requests that hit the per-request compute deadline."),
 		rejected: reg.Counter("nanoreprod_gate_rejections_total",
 			"Requests whose admission-gate wait was cut short (timeout or client gone)."),
+		singleflightShared: reg.Counter("nanoreprod_singleflight_shared_total",
+			"Requests collapsed onto another request's in-flight compute (no gate weight acquired)."),
+		peerHits: reg.Counter("nanoreprod_peer_hits_total",
+			"Requests answered with a result fetched from the owning peer replica."),
+		peerFallthrough: reg.Counter("nanoreprod_peer_fallthrough_total",
+			"Peer consultations that failed (down, slow, corrupt) and fell through to a local solve."),
+		peerServes: reg.Counter("nanoreprod_peer_result_requests_total",
+			"Internal result requests served to sibling replicas."),
 	}
 	// The compute cache instruments live in internal/repro (they are
 	// bumped inside ComputeCached itself); exported here as scrape-time
@@ -56,6 +70,29 @@ func newMetrics(g *gate) *metrics {
 	reg.GaugeFunc("nanoreprod_cache_entries",
 		"Memoized results currently held by the compute cache.",
 		func() float64 { return float64(repro.ReadCacheStats().Entries) })
+	// The second-level result store: the hit/put counters live in the
+	// compute cache (they move even when the store was installed outside
+	// this server), the footprint gauges come from the store handle.
+	reg.CounterFunc("nanoreprod_store_hits_total",
+		"ComputeCached fills served from the result store instead of the solvers.",
+		func() float64 { return float64(repro.ReadCacheStats().StoreHits) })
+	reg.CounterFunc("nanoreprod_store_puts_total",
+		"Successful results persisted into the result store.",
+		func() float64 { return float64(repro.ReadCacheStats().StorePuts) })
+	if st != nil {
+		reg.GaugeFunc("nanoreprod_store_entries",
+			"Result files currently in the store directory (shared across replicas).",
+			func() float64 { return float64(st.Stats().Entries) })
+		reg.GaugeFunc("nanoreprod_store_bytes",
+			"Total bytes of result files in the store directory.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		reg.CounterFunc("nanoreprod_store_evictions_total",
+			"Store files evicted by the entry/byte bounds.",
+			func() float64 { return float64(st.Stats().Evictions) })
+		reg.CounterFunc("nanoreprod_store_corrupt_total",
+			"Store files dropped on checksum or decode failure.",
+			func() float64 { return float64(st.Stats().Corrupt) })
+	}
 	// Mesh-solver health: the MG-PCG iteration count is near-constant per
 	// mesh size by construction, so iterations_total/solves_total drifting
 	// upward flags a numerical regression (smoother, prolongation, coarse

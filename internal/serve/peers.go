@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"nanometer/internal/repro"
+	"nanometer/internal/result"
+)
+
+// peerSet is the replica topology for shared-compute mode: a member list
+// (every replica's advertised host:port, ideally identical on every
+// replica) and this replica's own entry. Each compute key has one owner —
+// chosen by rendezvous hashing, so membership changes only remap the keys
+// of the changed member — and a replica that does not own a key asks the
+// owner before solving locally. Every peer interaction is best-effort: a
+// down, slow, or corrupt peer means falling through to the local solve,
+// never a failed request.
+type peerSet struct {
+	self    string
+	members []string
+	timeout time.Duration
+	client  *http.Client
+}
+
+// DefaultPeerTimeout bounds one peer fetch when Config.PeerTimeout is
+// unset: long enough for a warm peer (µs) and a default-mesh solve (ms),
+// short enough that a dead peer costs a fraction of the solve it saves.
+const DefaultPeerTimeout = 2 * time.Second
+
+func newPeerSet(self string, members []string, timeout time.Duration) *peerSet {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	ms := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" {
+			ms = append(ms, m)
+		}
+	}
+	return &peerSet{
+		self:    self,
+		members: ms,
+		timeout: timeout,
+		client:  &http.Client{Timeout: timeout},
+	}
+}
+
+// owner picks the key's owning member by rendezvous (highest-random-weight)
+// hashing and reports whether that owner is a remote peer. With self absent
+// from the member list every key is remote-owned — a legal degenerate
+// topology that turns this replica into a pure forwarder with local
+// fallback.
+func (p *peerSet) owner(key string) (addr string, remote bool) {
+	var best string
+	var bestScore uint64
+	for _, m := range p.members {
+		h := fnv.New64a()
+		io.WriteString(h, m)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, key)
+		if score := h.Sum64(); best == "" || score > bestScore || (score == bestScore && m < best) {
+			best, bestScore = m, score
+		}
+	}
+	return best, best != "" && best != p.self
+}
+
+// fetch asks the owner replica for the artifact's typed result via the
+// internal result endpoint. The fetch is detached from the request's
+// cancellation (an abandoned handler must still complete its flight into
+// the caches) but bounded by the peer timeout, and the response is
+// checksum-equivalent-validated: decoded into the result schema, Validate()d,
+// and identity-checked before anyone trusts it.
+func (p *peerSet) fetch(ctx context.Context, addr, id string, opts repro.Options) (*result.Result, error) {
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), p.timeout)
+	defer cancel()
+	u := "http://" + addr + "/api/v1/internal/result/" + url.PathEscape(id)
+	if opts.MeshN > 0 {
+		u += "?mesh-n=" + strconv.Itoa(opts.MeshN)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("peer %s: status %d", addr, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxPeerResponseBytes {
+		return nil, fmt.Errorf("peer %s: response exceeds %d bytes", addr, maxPeerResponseBytes)
+	}
+	var res result.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", addr, err)
+	}
+	if err := res.Validate(); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", addr, err)
+	}
+	if res.ID != id {
+		return nil, fmt.Errorf("peer %s: result ID %q, want %q", addr, res.ID, id)
+	}
+	return &res, nil
+}
+
+// maxPeerResponseBytes bounds a peer result body; the largest registry
+// artifact encodes to well under a megabyte even at the mesh-n cap.
+const maxPeerResponseBytes = 64 << 20

@@ -41,6 +41,7 @@ import (
 	"nanometer/internal/repro"
 	"nanometer/internal/result"
 	"nanometer/internal/runner"
+	"nanometer/internal/store"
 )
 
 // Config parameterizes a Server. The zero value serves the full registry
@@ -58,6 +59,21 @@ type Config struct {
 	// Jobs is the worker count for full-report requests; ≤ 0 selects
 	// GOMAXPROCS.
 	Jobs int
+	// Store, when non-nil, is the disk-backed result store installed as
+	// the compute cache's second level (process-wide via
+	// repro.SetResultStore) and exported on /metrics. Replicas sharing a
+	// store directory warm each other through it.
+	Store *store.Store
+	// Peers is the replica member list for shared-compute mode
+	// (host:port each, the full cluster including this replica as the
+	// others address it). Empty disables peer consultation.
+	Peers []string
+	// Self is this replica's own entry in Peers; keys it owns are solved
+	// locally, keys owned by another member are fetched from that peer
+	// (falling through to a local solve on any failure).
+	Self string
+	// PeerTimeout bounds one peer fetch; ≤ 0 selects DefaultPeerTimeout.
+	PeerTimeout time.Duration
 }
 
 // Server routes HTTP requests onto the artifact registry. Create with New,
@@ -66,6 +82,9 @@ type Server struct {
 	byID    map[string]repro.Artifact
 	order   []repro.Artifact
 	gate    *gate
+	flights *flightGroup
+	peers   *peerSet
+	store   *store.Store
 	timeout time.Duration
 	jobs    int
 	met     *metrics
@@ -97,13 +116,25 @@ func New(cfg Config) *Server {
 		byID:    make(map[string]repro.Artifact, len(arts)),
 		order:   arts,
 		gate:    newGate(units),
+		flights: newFlightGroup(),
 		timeout: timeout,
 		jobs:    jobs,
 	}
 	for _, a := range arts {
 		s.byID[a.ID] = a
 	}
-	s.met = newMetrics(s.gate)
+	if cfg.Store != nil {
+		// The compute cache (and so the store hook) is process-wide;
+		// installing it here keeps single-binary wiring trivial, and
+		// in-process multi-replica setups (loadgen -replicas) pass the
+		// same handle so the install is idempotent.
+		s.store = cfg.Store
+		repro.SetResultStore(cfg.Store)
+	}
+	if len(cfg.Peers) > 0 {
+		s.peers = newPeerSet(cfg.Self, cfg.Peers, cfg.PeerTimeout)
+	}
+	s.met = newMetrics(s.gate, s.store)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -113,6 +144,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/artifacts", s.handleIndex)
 	s.mux.HandleFunc("GET /api/v1/artifacts/{id}", s.handleArtifact)
 	s.mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	// The replica-to-replica result exchange: bare typed-result JSON, no
+	// encoding options, and — the loop-prevention invariant — served
+	// strictly from local compute (never re-forwarded to another peer).
+	s.mux.HandleFunc("GET /api/v1/internal/result/{id}", s.handleInternalResult)
 	s.mux.HandleFunc("POST /api/v1/cache/flush", s.handleFlush)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -153,8 +188,13 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // apiError answers a failed API request with a JSON body (the API speaks
-// JSON even when the requested representation was text or CSV).
+// JSON even when the requested representation was text or CSV). Validator
+// headers are scrubbed defensively: an error body must never ship a strong
+// ETag or caching policy, or a client's If-None-Match revalidation could
+// 304 an error it never successfully fetched.
 func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Del("ETag")
+	w.Header().Del("Cache-Control")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
@@ -314,19 +354,74 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	etag := etagFor(id, opts, format)
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "no-cache") // revalidate via ETag; 304 is cheap
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
 		s.met.notModified.Inc()
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "no-cache") // revalidate via ETag; 304 is cheap
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 
+	res, ok := s.produceResult(w, r, a, opts, true)
+	if !ok {
+		return
+	}
+	body, err := encodeOne(res, opts, format)
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
+		return
+	}
+	// The validator headers ride only on the success path: a 504/500 must
+	// never carry a strong ETag, or a client that cached the error body
+	// could have it revalidated into a 304 forever.
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	writeBody(w, format, body)
+}
+
+// produceResult runs the singleflight-collapsed compute of one artifact
+// and either returns its shared result or writes the failure response
+// (503/504/500) itself. The first concurrent request for an (artifact,
+// compute key) pair becomes the leader: it alone acquires gate weight and
+// computes (consulting peers when allowed). Followers wait on the leader's
+// flight under their own deadline without touching the gate — N identical
+// concurrent requests cost one admission, not N.
+func (s *Server) produceResult(w http.ResponseWriter, r *http.Request, a repro.Artifact, opts repro.Options, allowPeers bool) (*result.Result, bool) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	release := s.admit(ctx, w, weight(opts.MeshN))
-	if release == nil {
-		return
+	key := a.ID + "\x00" + opts.CacheKey()
+	f, leader := s.flights.join(key)
+	if !leader {
+		s.met.singleflightShared.Inc()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			s.met.timeouts.Inc()
+			apiError(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", ctx.Err())
+			return nil, false
+		}
+		if f.err != nil {
+			if f.rejected {
+				s.met.rejected.Inc()
+				w.Header().Set("Retry-After", "1")
+				apiError(w, http.StatusServiceUnavailable, "admission gate wait canceled: %v", f.err)
+			} else {
+				apiError(w, http.StatusInternalServerError, "computing %s: %v", a.ID, f.err)
+			}
+			return nil, false
+		}
+		return f.res, true
+	}
+
+	release, aerr := s.gate.Acquire(ctx, weight(opts.MeshN))
+	if aerr != nil {
+		// Propagate the rejection to any followers before answering, so
+		// they 503 promptly instead of waiting out their deadlines.
+		s.flights.finish(key, f, nil, aerr, true)
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusServiceUnavailable, "admission gate wait canceled: %v", aerr)
+		return nil, false
 	}
 	type outcome struct {
 		res *result.Result
@@ -336,24 +431,84 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer release()
 		start := time.Now()
-		res, err := a.ComputeCached(opts)
-		s.met.computeSeconds.With(id).Add(time.Since(start).Seconds())
+		res, err := s.computeArtifact(ctx, a, opts, allowPeers)
+		s.met.computeSeconds.With(a.ID).Add(time.Since(start).Seconds())
+		s.flights.finish(key, f, res, err, false)
 		ch <- outcome{res, err}
 	}()
 	out, ok := await(s, ctx, w, ch)
 	if !ok {
-		return
+		return nil, false
 	}
 	if out.err != nil {
-		apiError(w, http.StatusInternalServerError, "computing %s: %v", id, out.err)
+		apiError(w, http.StatusInternalServerError, "computing %s: %v", a.ID, out.err)
+		return nil, false
+	}
+	return out.res, true
+}
+
+// computeArtifact is the leader's compute: local caches (memory, then the
+// shared store) answer first; a key owned by a remote peer is fetched from
+// that peer; anything else — including every flavor of peer failure —
+// solves locally. The local solve is the always-available base case, so
+// peer mode can only add capacity, never subtract availability.
+func (s *Server) computeArtifact(ctx context.Context, a repro.Artifact, opts repro.Options, allowPeers bool) (*result.Result, error) {
+	if s.peers != nil && allowPeers {
+		probe := opts
+		probe.CacheOnly = true
+		if res, err := a.ComputeCached(probe); err == nil {
+			return res, nil
+		}
+		if owner, remote := s.peers.owner(a.ID + "\x00" + opts.CacheKey()); remote {
+			res, err := s.peers.fetch(ctx, owner, a.ID, opts)
+			if err == nil {
+				s.met.peerHits.Inc()
+				return res, nil
+			}
+			s.met.peerFallthrough.Inc()
+		}
+	}
+	return a.ComputeCached(opts)
+}
+
+// handleInternalResult serves one artifact's bare typed result as JSON for
+// a sibling replica. It reuses the full admission + singleflight machinery
+// but never consults peers itself (allowPeers=false): a forwarded request
+// terminates here, so peer topologies cannot loop no matter how the member
+// lists disagree.
+func (s *Server) handleInternalResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	a, ok := s.byID[id]
+	if !ok {
+		apiError(w, http.StatusNotFound, "unknown artifact %q", id)
 		return
 	}
-	body, err := encodeOne(out.res, opts, format)
+	s.met.peerServes.Inc()
+	var opts repro.Options
+	if v := r.URL.Query().Get("mesh-n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "mesh-n %q is not an integer", v)
+			return
+		}
+		if err := repro.ValidateMeshN(n); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts.MeshN = n
+	}
+	res, ok := s.produceResult(w, r, a, opts, false)
+	if !ok {
+		return
+	}
+	body, err := json.Marshal(res)
 	if err != nil {
 		apiError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
 		return
 	}
-	writeBody(w, format, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
 }
 
 // handleReport serves the full run — the exact bytes `nanorepro

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nanometer/internal/repro"
+	"nanometer/internal/result"
+	"nanometer/internal/store"
+)
+
+// TestSingleflightCollapse: K identical concurrent requests run exactly
+// one compute; the other K−1 collapse onto the leader's flight without
+// acquiring gate weight, and every request still gets 200.
+func TestSingleflightCollapse(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	const k = 16
+	var computes atomic.Int64
+	blocker := make(chan struct{})
+	arts := []repro.Artifact{counting("collapse", &computes, 0, blocker)}
+	s := New(Config{Artifacts: arts, GateUnits: 100, Timeout: 30 * time.Second})
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	codes := make([]int, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := get(t, h, "/api/v1/artifacts/collapse", nil)
+			codes[i] = rec.Code
+		}(i)
+	}
+	// One leader computes; the 15 followers register as shared before any
+	// result exists.
+	waitFor(t, func() bool { return computes.Load() == 1 })
+	waitFor(t, func() bool { return s.met.singleflightShared.Value() == k-1 })
+	// Only the leader holds gate weight: 16 in-flight requests, 1 unit.
+	if got := s.gate.InFlight(); got != 1 {
+		t.Errorf("gate in-flight = %d units during a collapsed burst, want 1 (the leader)", got)
+	}
+	close(blocker)
+	wg.Wait()
+	for i, c := range codes {
+		if c != 200 {
+			t.Errorf("request %d got %d", i, c)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("model ran %d times for %d identical requests, want 1", n, k)
+	}
+}
+
+// TestSingleflightHeavyGateWeight: duplicates of a heavy request
+// (mesh-n=255 ≈ 39 units) must not multiply its admission cost — the
+// burst holds one leader's weight, not K×39.
+func TestSingleflightHeavyGateWeight(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	var computes atomic.Int64
+	blocker := make(chan struct{})
+	arts := []repro.Artifact{counting("heavy", &computes, 0, blocker)}
+	s := New(Config{Artifacts: arts, GateUnits: 1000, Timeout: 30 * time.Second})
+	h := s.Handler()
+
+	const k = 4
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, h, "/api/v1/artifacts/heavy?mesh-n=255", nil)
+		}()
+	}
+	waitFor(t, func() bool { return computes.Load() == 1 })
+	waitFor(t, func() bool { return s.met.singleflightShared.Value() == k-1 })
+	want := weight(255)
+	if got := s.gate.InFlight(); got != want {
+		t.Errorf("gate in-flight = %d units for %d duplicate heavy requests, want %d (one leader)", got, k, want)
+	}
+	close(blocker)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("model ran %d times, want 1", n)
+	}
+}
+
+// TestSingleflightErrorPropagates: a failing compute answers 500 to the
+// leader and every collapsed follower alike — no follower hangs waiting
+// for a result that will never come.
+func TestSingleflightErrorPropagates(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	arts := []repro.Artifact{
+		{ID: "failing", Title: "failing", Compute: func(repro.Options) (*result.Result, error) {
+			return nil, errors.New("solver exploded")
+		}},
+	}
+	h := New(Config{Artifacts: arts, GateUnits: 100, Timeout: 30 * time.Second}).Handler()
+	const k = 5
+	var wg sync.WaitGroup
+	codes := make([]int, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = get(t, h, "/api/v1/artifacts/failing", nil).Code
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != 500 {
+			t.Errorf("request %d got %d, want 500", i, c)
+		}
+	}
+}
+
+// TestErrorResponsesCarryNoValidators: 500 and 504 responses must not ship
+// ETag or Cache-Control — a client revalidating a cached error body into a
+// 304 would pin the failure forever (the bug this PR fixes).
+func TestErrorResponsesCarryNoValidators(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	var computes atomic.Int64
+	arts := []repro.Artifact{
+		{ID: "alwaysfails", Title: "always fails", Compute: func(repro.Options) (*result.Result, error) {
+			return nil, errors.New("boom")
+		}},
+		counting("tooSlow", &computes, 200*time.Millisecond, nil),
+	}
+	h := New(Config{Artifacts: arts, Timeout: 40 * time.Millisecond}).Handler()
+	for _, tc := range []struct {
+		target string
+		want   int
+	}{
+		{"/api/v1/artifacts/alwaysfails", 500},
+		{"/api/v1/artifacts/tooSlow", 504},
+		{"/api/v1/artifacts/nope", 404},
+		{"/api/v1/artifacts/alwaysfails?format=xml", 400},
+	} {
+		rec := get(t, h, tc.target, nil)
+		if rec.Code != tc.want {
+			t.Fatalf("%s = %d, want %d", tc.target, rec.Code, tc.want)
+		}
+		if et := rec.Header().Get("ETag"); et != "" {
+			t.Errorf("%s (%d) carries ETag %q", tc.target, rec.Code, et)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "" {
+			t.Errorf("%s (%d) carries Cache-Control %q", tc.target, rec.Code, cc)
+		}
+	}
+}
+
+// TestRetryAfterTimeoutHitsStore: a request that 504s still completes its
+// compute into the shared store, so a cold replica (simulated by flushing
+// the in-memory cache, as a restart would) serves the retry from the store
+// without running a solver.
+func TestRetryAfterTimeoutHitsStore(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	defer repro.SetResultStore(nil)
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	arts := []repro.Artifact{counting("slowstore", &computes, 150*time.Millisecond, nil)}
+	h := New(Config{Artifacts: arts, Store: st, Timeout: 30 * time.Millisecond}).Handler()
+
+	if rec := get(t, h, "/api/v1/artifacts/slowstore", nil); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("slow compute = %d, want 504", rec.Code)
+	}
+	// The abandoned compute lands in memory AND on disk.
+	waitFor(t, func() bool { return st.Stats().Puts == 1 })
+	// Restart: memory gone, store persists.
+	repro.ResetCache()
+	rec := get(t, h, "/api/v1/artifacts/slowstore", nil)
+	if rec.Code != 200 {
+		t.Fatalf("retry on warm store = %d, want 200", rec.Code)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("model ran %d times, want 1 (retry must hit the store)", n)
+	}
+	if st.Stats().Hits == 0 {
+		t.Fatal("retry did not read the store")
+	}
+}
+
+// TestPeerFallThroughWhenPeerDown: a dead peer never fails a request — the
+// fetch times out / refuses, the fall-through counter moves, and the local
+// solve answers 200.
+func TestPeerFallThroughWhenPeerDown(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	var computes atomic.Int64
+	arts := []repro.Artifact{counting("peerless", &computes, 0, nil)}
+	// 127.0.0.1:1 is essentially never listening; self is not in the member
+	// list, so every key is remote-owned and the peer path always fires.
+	s := New(Config{
+		Artifacts:   arts,
+		Peers:       []string{"127.0.0.1:1"},
+		Self:        "self:0",
+		PeerTimeout: 200 * time.Millisecond,
+	})
+	rec := get(t, s.Handler(), "/api/v1/artifacts/peerless", nil)
+	if rec.Code != 200 {
+		t.Fatalf("request with dead peer = %d, want 200", rec.Code)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("local solve ran %d times, want 1", n)
+	}
+	if got := s.met.peerFallthrough.Value(); got != 1 {
+		t.Errorf("peer fall-through count = %v, want 1", got)
+	}
+	if got := s.met.peerHits.Value(); got != 0 {
+		t.Errorf("peer hit count = %v, want 0", got)
+	}
+}
+
+// TestPeerFetchServesRemoteResult: a key owned by a live peer is answered
+// from that peer — the local solver never runs (it would fail loudly here).
+func TestPeerFetchServesRemoteResult(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	remote := &result.Result{ID: "remoteonly", Title: "remote only"}
+	remote.AddTable(&result.Table{Title: "from-peer", Headers: []string{"h"}, Rows: [][]string{{"v"}}})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/internal/result/remoteonly" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(remote)
+	}))
+	defer peer.Close()
+	peerAddr := strings.TrimPrefix(peer.URL, "http://")
+
+	arts := []repro.Artifact{{ID: "remoteonly", Title: "remote only", Compute: func(repro.Options) (*result.Result, error) {
+		return nil, errors.New("must not solve locally")
+	}}}
+	s := New(Config{Artifacts: arts, Peers: []string{peerAddr}, Self: "self:0"})
+	rec := get(t, s.Handler(), "/api/v1/artifacts/remoteonly", nil)
+	if rec.Code != 200 {
+		t.Fatalf("peer-owned request = %d, want 200 (body: %s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "from-peer") {
+		t.Fatal("response body is not the peer's result")
+	}
+	if got := s.met.peerHits.Value(); got != 1 {
+		t.Errorf("peer hit count = %v, want 1", got)
+	}
+}
+
+// TestPeerRejectsWrongResult: a peer answering with the wrong artifact's
+// result (or garbage) is a fall-through, not a served lie.
+func TestPeerRejectsWrongResult(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	wrong := &result.Result{ID: "somethingelse", Title: "wrong"}
+	wrong.AddTable(&result.Table{Title: "x", Headers: []string{"h"}, Rows: [][]string{{"v"}}})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(wrong)
+	}))
+	defer peer.Close()
+
+	var computes atomic.Int64
+	arts := []repro.Artifact{counting("verified", &computes, 0, nil)}
+	s := New(Config{Artifacts: arts, Peers: []string{strings.TrimPrefix(peer.URL, "http://")}, Self: "self:0"})
+	rec := get(t, s.Handler(), "/api/v1/artifacts/verified", nil)
+	if rec.Code != 200 {
+		t.Fatalf("request = %d, want 200", rec.Code)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("local solve ran %d times, want 1 (bad peer result must fall through)", n)
+	}
+	if got := s.met.peerFallthrough.Value(); got != 1 {
+		t.Errorf("fall-through count = %v, want 1", got)
+	}
+}
+
+// TestInternalResultEndpoint: the replica-to-replica endpoint serves bare
+// typed-result JSON that a sibling can validate, and rejects bad mesh-n.
+func TestInternalResultEndpoint(t *testing.T) {
+	repro.ResetCache()
+	defer repro.ResetCache()
+	h := New(Config{}).Handler()
+	rec := get(t, h, "/api/v1/internal/result/t2", nil)
+	if rec.Code != 200 {
+		t.Fatalf("internal result = %d", rec.Code)
+	}
+	var res result.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "t2" {
+		t.Fatalf("internal result ID = %q", res.ID)
+	}
+	if rec := get(t, h, "/api/v1/internal/result/t2?mesh-n=4", nil); rec.Code != 400 {
+		t.Fatalf("bad mesh-n = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/api/v1/internal/result/zz", nil); rec.Code != 404 {
+		t.Fatalf("unknown artifact = %d, want 404", rec.Code)
+	}
+}
+
+// TestRendezvousOwnerStability: the owner assignment is deterministic,
+// spread across members, and only the removed member's keys remap when the
+// member list shrinks.
+func TestRendezvousOwnerStability(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	p3 := newPeerSet("a:1", members, 0)
+	owners := make(map[string]string)
+	byOwner := make(map[string]int)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("art%02d\x00cafe", i)
+		addr, _ := p3.owner(key)
+		owners[key] = addr
+		byOwner[addr]++
+	}
+	if len(byOwner) != 3 {
+		t.Fatalf("64 keys landed on %d of 3 members", len(byOwner))
+	}
+	// Drop c: keys owned by a or b must keep their owner.
+	p2 := newPeerSet("a:1", members[:2], 0)
+	for key, was := range owners {
+		now, _ := p2.owner(key)
+		if was != "c:1" && now != was {
+			t.Fatalf("key %q remapped %s → %s though its owner survived", key, was, now)
+		}
+		if was == "c:1" && now != "a:1" && now != "b:1" {
+			t.Fatalf("orphaned key %q mapped to %q", key, now)
+		}
+	}
+	// Self-owned keys are not remote.
+	for key, was := range owners {
+		if _, remote := p3.owner(key); remote == (was == "a:1") {
+			t.Fatalf("key %q owned by %s, remote=%v", key, was, remote)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+
+	"nanometer/internal/result"
+)
+
+// flight is one in-progress compute of (artifact ID, compute key). The
+// leader — the request that created the flight — is the only one that
+// acquires gate units and runs the compute; every other request joins as a
+// follower and waits on done under its own deadline. The flight outlives
+// the leader's handler: a leader that times out (504) walks away while the
+// compute goroutine still finishes the flight, so followers (and the
+// compute cache) get the result.
+type flight struct {
+	done chan struct{} // closed when res/err are final
+
+	res *result.Result
+	err error
+	// rejected marks an admission-gate failure (not a compute failure):
+	// followers answer 503 + Retry-After like the leader did, instead of
+	// misreporting a healthy artifact as a 500.
+	rejected bool
+}
+
+// flightGroup deduplicates in-flight computes. The compute cache's
+// once-cells already share the *result* of duplicate computes; the flight
+// group is what shares their *admission cost* — N identical concurrent
+// requests hold one leader's gate weight, not N× it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating it (leader=true) when none is
+// in progress.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the outcome and retires the flight. The map entry is
+// removed before done is closed, so a request arriving after completion
+// starts a fresh flight (whose compute is a cache hit) instead of reading
+// a stale one.
+func (g *flightGroup) finish(key string, f *flight, res *result.Result, err error, rejected bool) {
+	f.res, f.err, f.rejected = res, err, rejected
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}
