@@ -10,6 +10,7 @@
 //	mosfet -node 35 -sweep vth      # Ion/Ioff vs threshold
 //	mosfet -node 35 -sweep temp     # leakage vs temperature
 //	mosfet -node 35 -metal-gate     # apply the metal-gate variant
+//	mosfet -scenario scenarios/ext65.json -node 65   # devices of a scenario roadmap
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"nanometer/internal/itrs"
 	"nanometer/internal/mathx"
 	"nanometer/internal/report"
+	"nanometer/internal/scenario"
 	"nanometer/internal/units"
 )
 
@@ -31,7 +33,25 @@ var (
 	pmos      = flag.Bool("pmos", false, "use the PMOS companion device")
 	tempC     = flag.Float64("temp", 27, "analysis temperature (°C)")
 	points    = flag.Int("points", 33, "sweep points")
+	scnPath   = flag.String("scenario", "", "roadmap scenario JSON file (see scenarios/); devices calibrate against its roadmap")
 )
+
+// lab resolves the laboratory the devices come from: the base roadmap, or
+// the -scenario file's.
+func lab() *device.Lab {
+	if *scnPath == "" {
+		return device.BaseLab()
+	}
+	s, err := scenario.Load(*scnPath)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := s.Resolve()
+	if err != nil {
+		fatal(err)
+	}
+	return l
+}
 
 func main() {
 	flag.Parse()
@@ -39,14 +59,15 @@ func main() {
 		summary()
 		return
 	}
-	d, err := pick(*nodeNM)
+	l := lab()
+	d, err := pick(l, *nodeNM)
 	if err != nil {
 		fatal(err)
 	}
 	if *metalGate {
 		d = d.MetalGate()
 	}
-	node := itrs.MustNode(*nodeNM)
+	node := l.MustNode(*nodeNM)
 	T := units.CelsiusToKelvin(*tempC)
 
 	if *sweep != "" {
@@ -76,25 +97,26 @@ func main() {
 	fmt.Printf("  CV/I (FO4 metric) = %s\n", units.Engineering(d.DelayMetric(node.Vdd, T, 4), "s", 3))
 }
 
-func pick(nm int) (*device.Device, error) {
+func pick(l *device.Lab, nm int) (*device.Device, error) {
 	if *pmos {
-		return device.ForNodePMOS(nm)
+		return l.ForNodePMOS(nm)
 	}
-	return device.ForNode(nm)
+	return l.ForNode(nm)
 }
 
 func summary() {
+	l := lab()
 	t := &report.Table{
 		Title: "Calibrated compact devices (NMOS, nominal supply, 300 K)",
 		Headers: []string{"node", "Vdd", "Leff (nm)", "Tox (nm)", "µeff (cm²/Vs)",
 			"Esat·L (V)", "Vth (V)", "Ion (µA/µm)", "Ioff (nA/µm)", "Ion/Ioff"},
 	}
-	for _, nm := range itrs.Nodes() {
-		d, err := device.ForNode(nm)
+	for _, nm := range l.NodesNM() {
+		d, err := l.ForNode(nm)
 		if err != nil {
 			fatal(err)
 		}
-		node := itrs.MustNode(nm)
+		node := l.MustNode(nm)
 		T := units.RoomTemperature
 		t.AddRow(
 			fmt.Sprintf("%d", nm),

@@ -25,6 +25,7 @@
 //	nanorepro -csv out/       # text report + per-figure CSV files
 //	nanorepro -plot           # crude terminal plots for the figures
 //	nanorepro -v              # append each claim's paper checks
+//	nanorepro -scenario scenarios/ext65.json   # compute under a roadmap scenario
 package main
 
 import (
@@ -38,6 +39,7 @@ import (
 	"nanometer/internal/repro"
 	"nanometer/internal/result"
 	"nanometer/internal/runner"
+	"nanometer/internal/scenario"
 )
 
 var (
@@ -49,6 +51,7 @@ var (
 	verbose = flag.Bool("v", false, "append each claim's paper checks (text format)")
 	jobs    = flag.Int("jobs", runtime.NumCPU(), "max artifacts computed concurrently (output is identical for any value)")
 	meshN   = flag.Int("mesh-n", 0, "power-grid validation mesh nodes per side for c8 (0 = default 41; larger grids refine the 2-D bound)")
+	scnPath = flag.String("scenario", "", "roadmap scenario JSON file (see scenarios/); a sweep runs once per variant")
 )
 
 func main() {
@@ -71,56 +74,85 @@ func main() {
 	if *format != "text" && (*csvDir != "" || *plot || *verbose) {
 		fatal(fmt.Errorf("-csv, -plot, and -v only apply to -format text"))
 	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
+	}
+	// The nil scenario (no -scenario flag) is the base roadmap and the
+	// byte-identity path; a scenario with a sweep runs once per variant, in
+	// grid order.
+	variants := []*scenario.Scenario{nil}
+	if *scnPath != "" {
+		s, err := scenario.Load(*scnPath)
+		if err != nil {
+			fatal(err)
+		}
+		if variants, err = s.Variants(); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	pool := runner.Pool{Workers: *jobs}
 	opts := repro.Options{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose, MeshN: *meshN}
 
-	switch *format {
-	case "text":
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal(err)
+	failed := false
+	rep := &result.Report{}
+	for _, v := range variants {
+		opts.Scenario = v
+		switch *format {
+		case "text":
+			failed = stream(pool, repro.Jobs(arts, opts)) || failed
+		case "csv":
+			failed = stream(pool, repro.EncodeJobs(arts, opts, render.CSV{})) || failed
+		case "json":
+			results, aggErr := repro.ComputeAll(pool, arts, opts)
+			for _, r := range results {
+				if r != nil {
+					rep.Artifacts = append(rep.Artifacts, r)
+				}
+			}
+			if aggErr != nil {
+				printFailures(aggErr)
+				failed = true
 			}
 		}
-		stream(pool, repro.Jobs(arts, opts))
-	case "csv":
-		stream(pool, repro.EncodeJobs(arts, opts, render.CSV{}))
-	case "json":
-		results, aggErr := repro.ComputeAll(pool, arts, opts)
-		rep := &result.Report{}
-		for _, r := range results {
-			if r != nil {
-				rep.Artifacts = append(rep.Artifacts, r)
-			}
-		}
+	}
+	if *format == "json" {
 		if err := (render.JSON{Indent: "  "}).EncodeReport(os.Stdout, rep); err != nil {
 			fatal(err)
 		}
-		if aggErr != nil {
-			reportFailures(aggErr)
-		}
-	default:
-		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
 // stream runs encode jobs on the pool, emitting each artifact's bytes in
-// canonical order, and exits non-zero on any per-artifact failure.
-func stream(pool runner.Pool, jobs []runner.Job) {
+// canonical order. It reports per-artifact failures and returns whether any
+// occurred, so a sweep finishes its remaining variants before the non-zero
+// exit.
+func stream(pool runner.Pool, jobs []runner.Job) bool {
 	results, sinkErr := pool.RunTo(os.Stdout, jobs)
 	if sinkErr != nil {
 		fatal(sinkErr)
 	}
 	if agg := runner.Errs(results); agg != nil {
-		reportFailures(agg)
+		printFailures(agg)
+		return true
 	}
+	return false
 }
 
-func reportFailures(agg error) {
+func printFailures(agg error) {
 	fmt.Fprintln(os.Stderr, "nanorepro: some artifacts failed:")
 	for _, line := range strings.Split(agg.Error(), "\n") {
 		fmt.Fprintln(os.Stderr, "  "+line)
 	}
-	os.Exit(1)
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"nanometer/internal/powergrid"
 	"nanometer/internal/repro"
+	"nanometer/internal/scenario"
 	"nanometer/internal/serve"
 	"nanometer/internal/store"
 )
@@ -33,6 +35,10 @@ func runLoadgen() error {
 	if *replicaBench != "" {
 		return runReplicaBench()
 	}
+	every, scnBody, err := loadgenScenarioMix()
+	if err != nil {
+		return err
+	}
 	bases, shutdown, err := loadgenBases(*replicas)
 	if err != nil {
 		return err
@@ -40,14 +46,20 @@ func runLoadgen() error {
 	defer shutdown()
 
 	sum := fire(bases, fireConfig{
-		requests: *requests,
-		workers:  *concurrency,
-		targets:  loadgenTargets(),
-		format:   *lgFormat,
-		meshN:    *lgMeshN,
+		requests:      *requests,
+		workers:       *concurrency,
+		targets:       loadgenTargets(),
+		format:        *lgFormat,
+		meshN:         *lgMeshN,
+		scenarioEvery: every,
+		scenarioBody:  scnBody,
 	})
 	fmt.Printf("loadgen: %d requests (%d targets × format=%s), %d replicas, %d clients, %d errors\n",
 		sum.requests, len(loadgenTargets()), *lgFormat, len(bases), *concurrency, len(sum.failed))
+	if sum.scenarioPosts > 0 {
+		fmt.Printf("loadgen: %d of those were scenario posts (every %d-th request → POST /api/v1/scenarios)\n",
+			sum.scenarioPosts, every)
+	}
 	fmt.Printf("loadgen: wall %.3fs, %.1f req/s, %.1f KB read\n",
 		sum.elapsed.Seconds(), float64(len(sum.ok))/sum.elapsed.Seconds(), float64(sum.bytes)/1024)
 	if len(sum.ok) > 0 {
@@ -67,12 +79,42 @@ func runLoadgen() error {
 	for _, b := range bases {
 		if err := printMetrics(client, b,
 			"nanoreprod_cache_", "nanoreprod_store_", "nanoreprod_singleflight_",
-			"nanoreprod_peer_", "nanoreprod_mesh_solves_total",
+			"nanoreprod_peer_", "nanoreprod_mesh_solves_total", "nanoreprod_scenario_",
 			"nanoreprod_gate_rejections_total", "nanoreprod_request_timeouts_total"); err != nil {
 			return fmt.Errorf("scraping %s/metrics: %w", b, err)
 		}
 	}
 	return nil
+}
+
+// loadgenScenarioMix resolves -scenario-mix into a deterministic stride
+// (every n-th request posts a scenario, 0 = never) plus the document body.
+// The body is parsed client-side first so a bad -scenario-file fails the
+// run up front instead of producing a wall of 400s in the summary.
+func loadgenScenarioMix() (every int, body []byte, err error) {
+	mix := *scenarioMix
+	if mix == 0 {
+		return 0, nil, nil
+	}
+	if mix < 0 || mix > 1 {
+		return 0, nil, fmt.Errorf("loadgen: -scenario-mix %g out of range (0, 1]", mix)
+	}
+	every = int(1/mix + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	if *scenarioFile != "" {
+		body, err = os.ReadFile(*scenarioFile)
+		if err != nil {
+			return 0, nil, err
+		}
+	} else {
+		body = []byte(`{"name":"loadgen","sweep":{"param":"vdd","steps":3,"span_pct":10,"nodes":[70]}}`)
+	}
+	if _, err := scenario.Parse(body); err != nil {
+		return 0, nil, fmt.Errorf("loadgen: scenario document: %w", err)
+	}
+	return every, body, nil
 }
 
 // loadgenTargets resolves -targets (empty = the whole registry).
@@ -136,15 +178,21 @@ type fireConfig struct {
 	targets  []string
 	format   string
 	meshN    int
+	// scenarioEvery > 0 turns every n-th request into a POST of
+	// scenarioBody to /api/v1/scenarios?only=<target> — the write-path
+	// share of a mixed workload.
+	scenarioEvery int
+	scenarioBody  []byte
 }
 
 // fireSummary is the client-side outcome of one round; ok and failed are
 // sorted latency distributions.
 type fireSummary struct {
-	requests   int
-	elapsed    time.Duration
-	ok, failed []time.Duration
-	bytes      int64
+	requests      int
+	elapsed       time.Duration
+	ok, failed    []time.Duration
+	bytes         int64
+	scenarioPosts int
 }
 
 // fire runs the request mix, spreading request i over bases[i%len] and
@@ -162,6 +210,7 @@ func fire(bases []string, cfg fireConfig) fireSummary {
 	var (
 		next      atomic.Int64
 		bytesRead atomic.Int64
+		scnPosts  atomic.Int64
 		mu        sync.Mutex
 		ok        []time.Duration
 		failed    []time.Duration
@@ -180,12 +229,26 @@ func fire(bases []string, cfg fireConfig) fireSummary {
 					break
 				}
 				id := cfg.targets[i%int64(len(cfg.targets))]
-				url := fmt.Sprintf("%s/api/v1/artifacts/%s?format=%s", bases[i%int64(len(bases))], id, cfg.format)
+				base := bases[i%int64(len(bases))]
+				var url string
+				scn := cfg.scenarioEvery > 0 && i%int64(cfg.scenarioEvery) == 0
+				if scn {
+					url = fmt.Sprintf("%s/api/v1/scenarios?only=%s", base, id)
+				} else {
+					url = fmt.Sprintf("%s/api/v1/artifacts/%s?format=%s", base, id, cfg.format)
+				}
 				if cfg.meshN > 0 {
 					url += "&mesh-n=" + strconv.Itoa(cfg.meshN)
 				}
 				t0 := time.Now()
-				resp, err := client.Get(url)
+				var resp *http.Response
+				var err error
+				if scn {
+					scnPosts.Add(1)
+					resp, err = client.Post(url, "application/json", bytes.NewReader(cfg.scenarioBody))
+				} else {
+					resp, err = client.Get(url)
+				}
 				if err != nil {
 					localFailed = append(localFailed, time.Since(t0))
 					continue
@@ -209,7 +272,8 @@ func fire(bases []string, cfg fireConfig) fireSummary {
 	elapsed := time.Since(start)
 	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
 	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
-	return fireSummary{requests: n, elapsed: elapsed, ok: ok, failed: failed, bytes: bytesRead.Load()}
+	return fireSummary{requests: n, elapsed: elapsed, ok: ok, failed: failed,
+		bytes: bytesRead.Load(), scenarioPosts: int(scnPosts.Load())}
 }
 
 // pct returns the nearest-rank percentile of a sorted sample: the smallest

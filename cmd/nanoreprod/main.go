@@ -11,6 +11,9 @@
 //	       format=text|json|csv (default text), mesh-n=N (c8 mesh),
 //	       verbose=1, plot=1 (text only)
 //	GET  /api/v1/report                       the full run, same params
+//	POST /api/v1/scenarios                    compute under a scenario roadmap
+//	       (body: scenario JSON; NDJSON out, one line per sweep variant;
+//	       only=id,... and mesh-n=N as above)
 //	POST /api/v1/cache/flush                  drop memoized results
 //	GET  /healthz                             liveness probe
 //	GET  /metrics                             Prometheus text format
@@ -32,6 +35,7 @@
 //	nanoreprod -addr :9000 -gate 16 -timeout 10s
 //	nanoreprod -loadgen               # self-contained load run
 //	nanoreprod -loadgen -base http://host:8077 -requests 500 -concurrency 32
+//	nanoreprod -loadgen -scenario-mix 0.1      # 1 in 10 requests POSTs a scenario sweep
 package main
 
 import (
@@ -72,6 +76,8 @@ var (
 	targets      = flag.String("targets", "", "loadgen: comma-separated artifact ids to cycle (empty = whole registry)")
 	lgFormat     = flag.String("format", "text", "loadgen: format query parameter")
 	lgMeshN      = flag.Int("mesh-n", 0, "loadgen: mesh-n query parameter (0 = omit)")
+	scenarioMix  = flag.Float64("scenario-mix", 0, "loadgen: fraction of requests that POST a scenario to /api/v1/scenarios instead of GETting an artifact (0 = none)")
+	scenarioFile = flag.String("scenario-file", "", "loadgen: scenario JSON to post for the -scenario-mix fraction (empty = a built-in 3-step Vdd sweep)")
 	replicas     = flag.Int("replicas", 1, "loadgen: in-process replicas to spread requests over (shared store when -store is set)")
 	replicaBench = flag.String("replica-bench", "", "loadgen: comma-separated replica counts to sweep (e.g. 1,2,4); writes rows to -bench-out")
 	benchOut     = flag.String("bench-out", "BENCH_6.json", "loadgen: output file for -replica-bench")

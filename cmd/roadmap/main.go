@@ -8,6 +8,7 @@
 //	roadmap              # the trends table
 //	roadmap -derived     # model-derived consequences per node
 //	roadmap -dvfs 100    # the DVFS operating table for a node
+//	roadmap -scenario scenarios/ext65.json   # any of the above under a scenario
 package main
 
 import (
@@ -15,11 +16,12 @@ import (
 	"fmt"
 	"os"
 
+	"nanometer/internal/device"
 	"nanometer/internal/dvfs"
 	"nanometer/internal/gate"
-	"nanometer/internal/itrs"
 	"nanometer/internal/repeater"
 	"nanometer/internal/report"
+	"nanometer/internal/scenario"
 	"nanometer/internal/thermal"
 	"nanometer/internal/units"
 )
@@ -27,7 +29,25 @@ import (
 var (
 	derived  = flag.Bool("derived", false, "print model-derived consequences")
 	dvfsNode = flag.Int("dvfs", 0, "print the DVFS operating table for a node")
+	scnPath  = flag.String("scenario", "", "roadmap scenario JSON file (see scenarios/); sweeps print at their unswept operating point")
 )
+
+// lab resolves the roadmap to print: the base laboratory, or the -scenario
+// file's. The scenario name comes back for table titles.
+func lab() (*device.Lab, string) {
+	if *scnPath == "" {
+		return device.BaseLab(), ""
+	}
+	s, err := scenario.Load(*scnPath)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := s.Resolve()
+	if err != nil {
+		fatal(err)
+	}
+	return l, s.Name
+}
 
 func main() {
 	flag.Parse()
@@ -42,14 +62,23 @@ func main() {
 	printTrends()
 }
 
+// titled appends the scenario label to a table title when one is active.
+func titled(title, scenarioName string) string {
+	if scenarioName == "" {
+		return title
+	}
+	return title + " [scenario " + scenarioName + "]"
+}
+
 func printTrends() {
+	l, name := lab()
 	t := &report.Table{
-		Title: "ITRS 2000-update roadmap (as transcribed for the reproduction; DESIGN.md §2)",
+		Title: titled("ITRS 2000-update roadmap (as transcribed for the reproduction; DESIGN.md §2)", name),
 		Headers: []string{"node (nm)", "year", "Vdd (V)", "Tox (nm)", "Leff (nm)",
 			"clock (GHz)", "power (W)", "die (cm²)", "Tj (°C)", "θja (°C/W)", "pads", "bump pitch (µm)"},
 	}
-	for _, nm := range itrs.Nodes() {
-		n := itrs.MustNode(nm)
+	for _, nm := range l.NodesNM() {
+		n := l.MustNode(nm)
 		t.AddRow(
 			fmt.Sprintf("%d", n.DrawnNM),
 			fmt.Sprintf("%d", n.Year),
@@ -69,14 +98,15 @@ func printTrends() {
 }
 
 func printDerived() {
+	l, name := lab()
 	t := &report.Table{
-		Title: "Model-derived consequences per node",
+		Title: titled("Model-derived consequences per node", name),
 		Headers: []string{"node", "FO4 (ps)", "density (W/cm²)", "cooling class",
 			"supply (A)", "standby cap (A)", "repeaters", "signal P (W)"},
 	}
-	for _, nm := range itrs.Nodes() {
-		n := itrs.MustNode(nm)
-		inv, err := gate.ReferenceInverter(nm)
+	for _, nm := range l.NodesNM() {
+		n := l.MustNode(nm)
+		inv, err := gate.ReferenceInverterIn(l, nm)
 		if err != nil {
 			fatal(err)
 		}
@@ -85,7 +115,7 @@ func printDerived() {
 		if err != nil {
 			fatal(err)
 		}
-		census, err := repeater.TakeCensus(nm, repeater.CensusParams{})
+		census, err := repeater.TakeCensusIn(l, nm, repeater.CensusParams{})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,12 +135,13 @@ func printDerived() {
 }
 
 func printDVFS(nodeNM int) {
-	tb, err := dvfs.NewTable(nodeNM, 6, 0.5, 0)
+	l, name := lab()
+	tb, err := dvfs.NewTableIn(l, nodeNM, 6, 0.5, 0)
 	if err != nil {
 		fatal(err)
 	}
 	t := &report.Table{
-		Title:   fmt.Sprintf("DVFS operating table, %d nm (logic depth %.0f FO4/cycle)", nodeNM, tb.LogicDepth),
+		Title:   titled(fmt.Sprintf("DVFS operating table, %d nm (logic depth %.0f FO4/cycle)", nodeNM, tb.LogicDepth), name),
 		Headers: []string{"Vdd (V)", "f (GHz)", "speed", "power", "energy/op"},
 	}
 	for _, p := range tb.Points {

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"nanometer/internal/device"
 	"nanometer/internal/itrs"
 	"nanometer/internal/repeater"
 	"nanometer/internal/signaling"
@@ -74,15 +75,20 @@ type Planner struct {
 
 // NewPlanner builds a planner for a node's global tier at 85 °C.
 func NewPlanner(nodeNM int) (*Planner, error) {
-	node, err := itrs.ByNode(nodeNM)
+	return NewPlannerIn(device.BaseLab(), nodeNM)
+}
+
+// NewPlannerIn is NewPlanner against an explicit laboratory.
+func NewPlannerIn(lab *device.Lab, nodeNM int) (*Planner, error) {
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return nil, err
 	}
-	line, err := wire.ForNode(nodeNM, wire.Global)
+	line, err := wire.ForNodeIn(lab.Table(), nodeNM, wire.Global)
 	if err != nil {
 		return nil, err
 	}
-	drv, err := repeater.UnitDriver(nodeNM, units.CelsiusToKelvin(85))
+	drv, err := repeater.UnitDriverIn(lab, nodeNM, units.CelsiusToKelvin(85))
 	if err != nil {
 		return nil, err
 	}

@@ -9,26 +9,35 @@ import (
 	"nanometer/internal/units"
 )
 
-// Per-node model parameters that are not in the roadmap table.
-type nodeParams struct {
-	// vthAnchor is the paper's Table 2 "Vth required to meet Ion" value at
+// Params carries the per-node model parameters that are not in the roadmap
+// table itself.
+type Params struct {
+	// VthAnchor is the paper's Table 2 "Vth required to meet Ion" value at
 	// the nominal supply; the mobility calibration targets it (DESIGN.md §2).
-	vthAnchor float64
-	// dibl is the drain-induced barrier lowering coefficient. It grows as
+	VthAnchor float64
+	// DIBL is the drain-induced barrier lowering coefficient. It grows as
 	// channels shorten; the values are chosen so that the paper's
 	// "Pstatic decays roughly quadratically with Vdd at fixed Vth" holds at
 	// the nanometer nodes (≈0.1 V/V at 35 nm gives Ioff ∝ Vdd over the
 	// 0.2–0.6 V range).
-	dibl float64
+	DIBL float64
 }
 
-var paramsByNode = map[int]nodeParams{
-	180: {vthAnchor: 0.30, dibl: 0.02},
-	130: {vthAnchor: 0.29, dibl: 0.03},
-	100: {vthAnchor: 0.22, dibl: 0.04},
-	70:  {vthAnchor: 0.14, dibl: 0.06},
-	50:  {vthAnchor: 0.04, dibl: 0.08},
-	35:  {vthAnchor: 0.11, dibl: 0.10},
+var baseParams = map[int]Params{
+	180: {VthAnchor: 0.30, DIBL: 0.02},
+	130: {VthAnchor: 0.29, DIBL: 0.03},
+	100: {VthAnchor: 0.22, DIBL: 0.04},
+	70:  {VthAnchor: 0.14, DIBL: 0.06},
+	50:  {VthAnchor: 0.04, DIBL: 0.08},
+	35:  {VthAnchor: 0.11, DIBL: 0.10},
+}
+
+// BaseParams returns the transcribed Table 2 device anchors for a node of
+// the base roadmap, and whether the node has any. Scenario resolution uses
+// it to seed extension nodes and to tell which nodes need explicit anchors.
+func BaseParams(drawnNM int) (Params, bool) {
+	p, ok := baseParams[drawnNM]
+	return p, ok
 }
 
 // pmosMobilityRatio is µp/µn; hole mobility is roughly 0.4× electron
@@ -42,29 +51,126 @@ type calibKey struct {
 
 // calibEntry is a once-cell: the first goroutine to claim a key runs the
 // calibration, every other goroutine blocks on the Once and then reads the
-// immutable result. Compared with the old global mutex this keeps concurrent
-// reproduction jobs from serializing on cache *hits* (the common case) and
-// from holding a lock across the Brent solve on misses.
+// immutable result. Compared with a mutex this keeps concurrent reproduction
+// jobs from serializing on cache *hits* (the common case) and from holding a
+// lock across the Brent solve on misses.
 type calibEntry struct {
 	once sync.Once
 	dev  *Device
 	err  error
 }
 
-// calibCache maps calibKey → *calibEntry. Entries with err != nil are kept
-// (the inputs are static tables, so a failure is deterministic and retrying
-// cannot succeed).
-var calibCache sync.Map
+// Lab is a device laboratory: a roadmap table plus its per-node model
+// parameters and a calibration cache. All device models for one scenario
+// come out of one Lab; the package-level ForNode helpers delegate to
+// BaseLab(). A Lab is safe for concurrent use.
+type Lab struct {
+	table  *itrs.Table
+	params map[int]Params
+	// cache maps calibKey → *calibEntry. Entries with err != nil are kept
+	// (the inputs are immutable once the Lab is built, so a failure is
+	// deterministic and retrying cannot succeed).
+	cache sync.Map
+}
+
+// NewLab builds a laboratory over the given table. params supplies the Vth
+// anchor and DIBL for each node; nodes present in the base parameter set
+// fall back to it when absent from params. Every node of the table must end
+// up with parameters.
+func NewLab(table *itrs.Table, params map[int]Params) (*Lab, error) {
+	merged := make(map[int]Params, table.Len())
+	for _, nm := range table.NodesNM() {
+		if p, ok := params[nm]; ok {
+			merged[nm] = p
+			continue
+		}
+		if p, ok := baseParams[nm]; ok {
+			merged[nm] = p
+			continue
+		}
+		return nil, fmt.Errorf("device: no model parameters (Vth anchor, DIBL) for %d nm", nm)
+	}
+	for _, nm := range table.NodesNM() {
+		p := merged[nm]
+		if p.VthAnchor < -0.2 || p.VthAnchor > 1.5 {
+			return nil, fmt.Errorf("device: %d nm Vth anchor %g V outside [-0.2, 1.5]", nm, p.VthAnchor)
+		}
+		if p.DIBL < 0 || p.DIBL > 0.5 {
+			return nil, fmt.Errorf("device: %d nm DIBL %g V/V outside [0, 0.5]", nm, p.DIBL)
+		}
+	}
+	return &Lab{table: table, params: merged}, nil
+}
+
+// baseLab is the process-wide laboratory over the transcribed base roadmap;
+// the package-level ForNode family keeps its historical behavior (and its
+// shared calibration cache) by delegating here.
+var (
+	baseLabOnce sync.Once
+	baseLabVal  *Lab
+)
+
+// BaseLab returns the laboratory bound to the base ITRS-2000 table.
+func BaseLab() *Lab {
+	baseLabOnce.Do(func() {
+		lab, err := NewLab(itrs.Base(), nil)
+		if err != nil {
+			panic(err) // base table and anchors are static and test-covered
+		}
+		baseLabVal = lab
+	})
+	return baseLabVal
+}
+
+// Table returns the roadmap table the Lab calibrates against.
+func (l *Lab) Table() *itrs.Table { return l.table }
+
+// Node returns the Lab's roadmap entry for the given drawn feature size.
+func (l *Lab) Node(drawnNM int) (itrs.Node, error) { return l.table.ByNode(drawnNM) }
+
+// MustNode is Node for known-good literals; it panics on unknown nodes.
+func (l *Lab) MustNode(drawnNM int) itrs.Node { return l.table.MustNode(drawnNM) }
+
+// NodesNM returns the Lab's node feature sizes in descending order.
+func (l *Lab) NodesNM() []int { return l.table.NodesNM() }
 
 // ForNode returns the calibrated NMOS device model for a roadmap node. The
 // returned device is a fresh copy; callers may mutate it.
-func ForNode(drawnNM int) (*Device, error) { return forNode(drawnNM, NMOS) }
+func (l *Lab) ForNode(drawnNM int) (*Device, error) { return l.forNode(drawnNM, NMOS) }
 
 // ForNodePMOS returns the calibrated PMOS companion device: identical
 // structure with hole mobility (0.4× electron) and the same threshold
 // magnitude. All biases are expressed as magnitudes, so PMOS devices are
 // used with positive voltages throughout.
-func ForNodePMOS(drawnNM int) (*Device, error) { return forNode(drawnNM, PMOS) }
+func (l *Lab) ForNodePMOS(drawnNM int) (*Device, error) { return l.forNode(drawnNM, PMOS) }
+
+// MustForNode is ForNode for known-good node literals.
+func (l *Lab) MustForNode(drawnNM int) *Device {
+	d, err := l.ForNode(drawnNM)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (l *Lab) forNode(drawnNM int, pol Polarity) (*Device, error) {
+	e, _ := l.cache.LoadOrStore(calibKey{drawnNM, pol}, &calibEntry{})
+	entry := e.(*calibEntry)
+	entry.once.Do(func() { entry.dev, entry.err = l.calibrate(drawnNM, pol) })
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	c := *entry.dev
+	return &c, nil
+}
+
+// ForNode returns the calibrated NMOS device model for a node of the base
+// roadmap.
+func ForNode(drawnNM int) (*Device, error) { return BaseLab().ForNode(drawnNM) }
+
+// ForNodePMOS returns the calibrated PMOS companion device for a node of the
+// base roadmap.
+func ForNodePMOS(drawnNM int) (*Device, error) { return BaseLab().ForNodePMOS(drawnNM) }
 
 // MustForNode is ForNode for known-good node literals.
 func MustForNode(drawnNM int) *Device {
@@ -84,25 +190,14 @@ func MustForNodePMOS(drawnNM int) *Device {
 	return d
 }
 
-func forNode(drawnNM int, pol Polarity) (*Device, error) {
-	e, _ := calibCache.LoadOrStore(calibKey{drawnNM, pol}, &calibEntry{})
-	entry := e.(*calibEntry)
-	entry.once.Do(func() { entry.dev, entry.err = calibrate(drawnNM, pol) })
-	if entry.err != nil {
-		return nil, entry.err
-	}
-	c := *entry.dev
-	return &c, nil
-}
-
 // calibrate builds and mobility-calibrates the device model for one node and
 // polarity. It is called exactly once per key, via the cache's once-cell.
-func calibrate(drawnNM int, pol Polarity) (*Device, error) {
-	node, err := itrs.ByNode(drawnNM)
+func (l *Lab) calibrate(drawnNM int, pol Polarity) (*Device, error) {
+	node, err := l.table.ByNode(drawnNM)
 	if err != nil {
 		return nil, err
 	}
-	p, ok := paramsByNode[drawnNM]
+	p, ok := l.params[drawnNM]
 	if !ok {
 		return nil, fmt.Errorf("device: no model parameters for %d nm", drawnNM)
 	}
@@ -115,9 +210,9 @@ func calibrate(drawnNM int, pol Polarity) (*Device, error) {
 		GateDepletionM:      DefaultGateDepletionM,
 		VsatMPerS:           DefaultVsatMPerS,
 		RsOhmM:              node.RsOhmM,
-		Vth0:                p.vthAnchor,
+		Vth0:                p.VthAnchor,
 		VddRef:              node.Vdd,
-		DIBL:                p.dibl,
+		DIBL:                p.DIBL,
 		// The paper's Eq. 4 carries temperature only through the
 		// subthreshold swing, so the default Vth temperature coefficient is
 		// zero; callers modeling Vth(T) explicitly can set the field.

@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"math"
 
+	"nanometer/internal/device"
 	"nanometer/internal/gate"
-	"nanometer/internal/itrs"
 	"nanometer/internal/units"
 )
 
@@ -43,17 +43,22 @@ type Table struct {
 // inverter's FO4 delay with logicDepth stages per cycle (zero selects the
 // depth that reproduces the node's local clock at nominal supply).
 func NewTable(nodeNM, n int, loFrac, logicDepth float64) (*Table, error) {
+	return NewTableIn(device.BaseLab(), nodeNM, n, loFrac, logicDepth)
+}
+
+// NewTableIn is NewTable against an explicit laboratory.
+func NewTableIn(lab *device.Lab, nodeNM, n int, loFrac, logicDepth float64) (*Table, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("dvfs: need at least 2 points, got %d", n)
 	}
 	if loFrac <= 0 || loFrac >= 1 {
 		return nil, fmt.Errorf("dvfs: low fraction %g outside (0,1)", loFrac)
 	}
-	node, err := itrs.ByNode(nodeNM)
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return nil, err
 	}
-	inv, err := gate.ReferenceInverter(nodeNM)
+	inv, err := gate.ReferenceInverterIn(lab, nodeNM)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"nanometer/internal/busplan"
-	"nanometer/internal/itrs"
+	"nanometer/internal/device"
 	"nanometer/internal/repeater"
 	"nanometer/internal/signaling"
 )
@@ -22,7 +22,12 @@ type BusPlanResult struct {
 // RunBusPlan plans a representative 50 nm global-route population: latency-
 // critical hops, relaxed cross-chip buses, and high-activity datapath links.
 func RunBusPlan(nodeNM int) (*BusPlanResult, error) {
-	node, err := itrs.ByNode(nodeNM)
+	return RunBusPlanIn(device.BaseLab(), nodeNM)
+}
+
+// RunBusPlanIn is RunBusPlan against an explicit laboratory.
+func RunBusPlanIn(lab *device.Lab, nodeNM int) (*BusPlanResult, error) {
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return nil, err
 	}
@@ -30,7 +35,7 @@ func RunBusPlan(nodeNM int) (*BusPlanResult, error) {
 	// Latency-critical hop length: 1.2 clock cycles' worth of repeated-
 	// signal travel at this node, under a 1.5-cycle budget — reachable by
 	// repeaters, out of reach for unrepeated low-swing links.
-	cf, err := repeater.EvaluateClockFeasibility(nodeNM)
+	cf, err := repeater.EvaluateClockFeasibilityIn(lab, nodeNM)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +59,7 @@ func RunBusPlan(nodeNM int) (*BusPlanResult, error) {
 			LatencyBudgetS: 8 * period, ToggleHz: 0.4 * node.ClockHz,
 		})
 	}
-	p, err := busplan.NewPlanner(nodeNM)
+	p, err := busplan.NewPlannerIn(lab, nodeNM)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"nanometer/internal/core"
 	"nanometer/internal/cvs"
+	"nanometer/internal/device"
 	"nanometer/internal/dualvth"
 	"nanometer/internal/libopt"
 	"nanometer/internal/netlist"
@@ -36,7 +37,12 @@ func DefaultCircuitSetup() CircuitSetup {
 
 // buildCircuit generates the benchmark netlist for a setup.
 func buildCircuit(s CircuitSetup) (*netlist.Circuit, error) {
-	tech, err := netlist.NewTech(s.NodeNM, s.LowVddRatio)
+	return buildCircuitIn(device.BaseLab(), s)
+}
+
+// buildCircuitIn is buildCircuit against an explicit laboratory.
+func buildCircuitIn(lab *device.Lab, s CircuitSetup) (*netlist.Circuit, error) {
+	tech, err := netlist.NewTechIn(lab, s.NodeNM, s.LowVddRatio)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +73,12 @@ type CVSResult struct {
 
 // RunCVS runs clustered voltage scaling and its clustering ablation.
 func RunCVS(s CircuitSetup) (*CVSResult, error) {
-	c, err := buildCircuit(s)
+	return RunCVSIn(device.BaseLab(), s)
+}
+
+// RunCVSIn is RunCVS against an explicit laboratory.
+func RunCVSIn(lab *device.Lab, s CircuitSetup) (*CVSResult, error) {
+	c, err := buildCircuitIn(lab, s)
 	if err != nil {
 		return nil, err
 	}
@@ -100,9 +111,14 @@ type DualVthResult struct {
 // literature's results are for timing-tight designs where the low threshold
 // is what makes the clock.
 func RunDualVth(s CircuitSetup) (*DualVthResult, error) {
+	return RunDualVthIn(device.BaseLab(), s)
+}
+
+// RunDualVthIn is RunDualVth against an explicit laboratory.
+func RunDualVthIn(lab *device.Lab, s CircuitSetup) (*DualVthResult, error) {
 	s.PeriodGuard = 1.0
 	out := &DualVthResult{Setup: s}
-	c1, err := buildCircuit(s)
+	c1, err := buildCircuitIn(lab, s)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +126,7 @@ func RunDualVth(s CircuitSetup) (*DualVthResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	c2, err := buildCircuit(s)
+	c2, err := buildCircuitIn(lab, s)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +156,12 @@ type ResizeVsVddResult struct {
 
 // RunResizeVsVdd runs the C6 comparison.
 func RunResizeVsVdd(s CircuitSetup) (*ResizeVsVddResult, error) {
-	base, err := buildCircuit(s)
+	return RunResizeVsVddIn(device.BaseLab(), s)
+}
+
+// RunResizeVsVddIn is RunResizeVsVdd against an explicit laboratory.
+func RunResizeVsVddIn(lab *device.Lab, s CircuitSetup) (*ResizeVsVddResult, error) {
+	base, err := buildCircuitIn(lab, s)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +209,12 @@ type LibraryResult struct {
 
 // RunLibrary runs the library-granularity comparison.
 func RunLibrary(s CircuitSetup) (*LibraryResult, error) {
-	c, err := buildCircuit(s)
+	return RunLibraryIn(device.BaseLab(), s)
+}
+
+// RunLibraryIn is RunLibrary against an explicit laboratory.
+func RunLibraryIn(lab *device.Lab, s CircuitSetup) (*LibraryResult, error) {
+	c, err := buildCircuitIn(lab, s)
 	if err != nil {
 		return nil, err
 	}

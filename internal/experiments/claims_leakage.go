@@ -29,12 +29,17 @@ type StackVthResult struct {
 
 // RunStackVth evaluates the intra-cell assignment space for a node.
 func RunStackVth(nodeNM int) (*StackVthResult, error) {
-	d, err := device.ForNode(nodeNM)
+	return RunStackVthIn(device.BaseLab(), nodeNM)
+}
+
+// RunStackVthIn is RunStackVth against an explicit laboratory.
+func RunStackVthIn(lab *device.Lab, nodeNM int) (*StackVthResult, error) {
+	d, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return nil, err
 	}
 	const load = 5e-15
-	as, err := stackvth.Explore(nodeNM, 2, 4*d.LeffM, d.Vth0, d.Vth0+0.1, load)
+	as, err := stackvth.ExploreIn(lab, nodeNM, 2, 4*d.LeffM, d.Vth0, d.Vth0+0.1, load)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +47,7 @@ func RunStackVth(nodeNM int) (*StackVthResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := stackvth.NewStack(nodeNM, 2, 4*d.LeffM, []float64{d.Vth0, d.Vth0})
+	st, err := stackvth.NewStackIn(lab, nodeNM, 2, 4*d.LeffM, []float64{d.Vth0, d.Vth0})
 	if err != nil {
 		return nil, err
 	}
@@ -84,16 +89,21 @@ type StandbyResult struct {
 
 // RunStandby evaluates the standby-technique comparison.
 func RunStandby() (*StandbyResult, error) {
+	return RunStandbyIn(device.BaseLab())
+}
+
+// RunStandbyIn is RunStandby against an explicit laboratory.
+func RunStandbyIn(lab *device.Lab) (*StandbyResult, error) {
 	const width = 1e-3
-	at180, err := standby.Compare(180, width)
+	at180, err := standby.CompareIn(lab, 180, width)
 	if err != nil {
 		return nil, err
 	}
-	at35, err := standby.Compare(35, width)
+	at35, err := standby.CompareIn(lab, 35, width)
 	if err != nil {
 		return nil, err
 	}
-	trend, err := standby.ScalingTrend(standby.ReverseBodyBias, width)
+	trend, err := standby.ScalingTrendIn(lab, standby.ReverseBodyBias, width)
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"nanometer/internal/core"
+	"nanometer/internal/device"
 	"nanometer/internal/gate"
-	"nanometer/internal/itrs"
 	"nanometer/internal/mcml"
 	"nanometer/internal/mtcmos"
 	"nanometer/internal/powergrid"
@@ -23,8 +23,13 @@ type VddFloorResult struct {
 
 // RunVddFloor runs the C7 computation.
 func RunVddFloor() (*VddFloorResult, error) {
-	node := itrs.MustNode(35)
-	ex, err := core.NewExplorer(35, units.RoomTemperature, 0.1, node.ClockHz)
+	return RunVddFloorIn(device.BaseLab())
+}
+
+// RunVddFloorIn is RunVddFloor against an explicit laboratory.
+func RunVddFloorIn(lab *device.Lab) (*VddFloorResult, error) {
+	node := lab.MustNode(35)
+	ex, err := core.NewExplorerIn(lab, 35, units.RoomTemperature, 0.1, node.ClockHz)
 	if err != nil {
 		return nil, err
 	}
@@ -72,10 +77,15 @@ func RunBumps() (*BumpsResult, error) {
 // keeps iteration counts near-constant in n, so refinement sweeps (129,
 // 255, ...) stay close to linear in node count.
 func RunBumpsN(meshN int) (*BumpsResult, error) {
+	return RunBumpsNIn(device.BaseLab(), meshN)
+}
+
+// RunBumpsNIn is RunBumpsN against an explicit laboratory.
+func RunBumpsNIn(lab *device.Lab, meshN int) (*BumpsResult, error) {
 	if meshN <= 0 {
 		meshN = DefaultMeshN
 	}
-	node := itrs.MustNode(35)
+	node := lab.MustNode(35)
 	minSpec := powergrid.DefaultSpec(node, node.BumpPitchMinM)
 	itrsSpec := powergrid.DefaultSpec(node, node.EffectiveBumpPitchM())
 	szMin, err := minSpec.SizeRails()
@@ -131,14 +141,19 @@ type TransientsResult struct {
 
 // RunTransients runs the C9 analysis at 35 nm.
 func RunTransients() (*TransientsResult, error) {
+	return RunTransientsIn(device.BaseLab())
+}
+
+// RunTransientsIn is RunTransients against an explicit laboratory.
+func RunTransientsIn(lab *device.Lab) (*TransientsResult, error) {
 	const nodeNM = 35
-	node := itrs.MustNode(nodeNM)
+	node := lab.MustNode(nodeNM)
 	// A sleep-gated block: 1/8 of the die's switching logic, sized so its
 	// active current is 1/8 of the chip draw.
 	blockCurrent := node.SupplyCurrentA() / 8
 	// Total gated NMOS width ~ logic transistors × average width.
 	logicWidth := node.LogicTransistorsM * 1e6 / 8 * 4 * node.LeffM
-	blk, err := mtcmos.NewBlock(nodeNM, logicWidth, 0.08, blockCurrent)
+	blk, err := mtcmos.NewBlockIn(lab, nodeNM, logicWidth, 0.08, blockCurrent)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +182,7 @@ func RunTransients() (*TransientsResult, error) {
 		return nil, err
 	}
 
-	inv, err := gate.ReferenceInverter(nodeNM)
+	inv, err := gate.ReferenceInverterIn(lab, nodeNM)
 	if err != nil {
 		return nil, err
 	}

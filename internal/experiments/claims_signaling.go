@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"nanometer/internal/itrs"
+	"nanometer/internal/device"
 	"nanometer/internal/repeater"
 	"nanometer/internal/signaling"
 	"nanometer/internal/units"
@@ -46,23 +46,28 @@ type SignalingRow struct {
 
 // Signaling runs the C2 experiment across the roadmap.
 func Signaling() ([]SignalingRow, error) {
+	return SignalingIn(device.BaseLab())
+}
+
+// SignalingIn is Signaling against an explicit laboratory.
+func SignalingIn(lab *device.Lab) ([]SignalingRow, error) {
 	var rows []SignalingRow
-	for _, nm := range itrs.Nodes() {
-		node := itrs.MustNode(nm)
-		census, err := repeater.TakeCensus(nm, repeater.CensusParams{})
+	for _, nm := range lab.NodesNM() {
+		node := lab.MustNode(nm)
+		census, err := repeater.TakeCensusIn(lab, nm, repeater.CensusParams{})
 		if err != nil {
 			return nil, err
 		}
 		T := units.CelsiusToKelvin(85)
-		drv, err := repeater.UnitDriver(nm, T)
+		drv, err := repeater.UnitDriverIn(lab, nm, T)
 		if err != nil {
 			return nil, err
 		}
-		line, err := wire.ForNode(nm, wire.Global)
+		line, err := wire.ForNodeIn(lab.Table(), nm, wire.Global)
 		if err != nil {
 			return nil, err
 		}
-		length, err := wire.CrossChipLength(nm)
+		length, err := wire.CrossChipLengthIn(lab.Table(), nm)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +92,7 @@ func Signaling() ([]SignalingRow, error) {
 			PeakCurrentRatio:      cmp.PeakCurrentRatio,
 		}
 		row.DiffPowerW = census.SignalingPowerW * cmp.EnergyRatio
-		cf, err := repeater.EvaluateClockFeasibility(nm)
+		cf, err := repeater.EvaluateClockFeasibilityIn(lab, nm)
 		if err != nil {
 			return nil, err
 		}
@@ -109,11 +114,16 @@ type SwingStudyResult struct {
 
 // RunSwingStudy evaluates tolerable swings on a cross-unit global route.
 func RunSwingStudy(nodeNM int) (*SwingStudyResult, error) {
-	node, err := itrs.ByNode(nodeNM)
+	return RunSwingStudyIn(device.BaseLab(), nodeNM)
+}
+
+// RunSwingStudyIn is RunSwingStudy against an explicit laboratory.
+func RunSwingStudyIn(lab *device.Lab, nodeNM int) (*SwingStudyResult, error) {
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return nil, err
 	}
-	line, err := wire.ForNode(nodeNM, wire.Global)
+	line, err := wire.ForNodeIn(lab.Table(), nodeNM, wire.Global)
 	if err != nil {
 		return nil, err
 	}

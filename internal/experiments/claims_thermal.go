@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"nanometer/internal/itrs"
+	"nanometer/internal/device"
 	"nanometer/internal/thermal"
 )
 
@@ -33,7 +33,12 @@ type DTMResult struct {
 
 // DTM runs the C1 experiment for a node.
 func DTM(nodeNM int) (*DTMResult, error) {
-	node, err := itrs.ByNode(nodeNM)
+	return DTMIn(device.BaseLab(), nodeNM)
+}
+
+// DTMIn is DTM against an explicit laboratory.
+func DTMIn(lab *device.Lab, nodeNM int) (*DTMResult, error) {
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 	"nanometer/internal/core"
 	"nanometer/internal/device"
 	"nanometer/internal/gate"
-	"nanometer/internal/itrs"
 	"nanometer/internal/mathx"
 	"nanometer/internal/powergrid"
 	"nanometer/internal/report"
@@ -30,6 +29,11 @@ func Figure1Cases() []Figure1Case {
 // threshold at each (node, Vdd) point is the Table 2 solution (Ion target
 // met at that supply), as in the paper's §3.1 setup.
 func Figure1(activities []float64) (*report.Figure, error) {
+	return Figure1In(device.BaseLab(), activities)
+}
+
+// Figure1In is Figure1 against an explicit laboratory.
+func Figure1In(lab *device.Lab, activities []float64) (*report.Figure, error) {
 	if len(activities) == 0 {
 		activities = mathx.Logspace(0.005, 0.5, 25)
 	}
@@ -41,11 +45,11 @@ func Figure1(activities []float64) (*report.Figure, error) {
 		LogX:   true, LogY: true,
 	}
 	for _, cs := range Figure1Cases() {
-		inv, err := gate.ReferenceInverter(cs.NodeNM)
+		inv, err := gate.ReferenceInverterIn(lab, cs.NodeNM)
 		if err != nil {
 			return nil, err
 		}
-		node := itrs.MustNode(cs.NodeNM)
+		node := lab.MustNode(cs.NodeNM)
 		// Threshold re-solved for the case's supply (300 K convention).
 		vth, err := inv.N.SolveVthForIon(node.IonTargetAPerM, cs.Vdd, units.RoomTemperature)
 		if err != nil {
@@ -79,14 +83,19 @@ type Figure2Row struct {
 
 // Figure2 reproduces the dual-Vth scaling figure.
 func Figure2() ([]Figure2Row, error) {
+	return Figure2In(device.BaseLab())
+}
+
+// Figure2In is Figure2 against an explicit laboratory.
+func Figure2In(lab *device.Lab) ([]Figure2Row, error) {
 	var rows []Figure2Row
 	T := units.RoomTemperature
-	for _, nm := range itrs.Nodes() {
-		d, err := device.ForNode(nm)
+	for _, nm := range lab.NodesNM() {
+		d, err := lab.ForNode(nm)
 		if err != nil {
 			return nil, err
 		}
-		node := itrs.MustNode(nm)
+		node := lab.MustNode(nm)
 		ionHigh := d.IonPerWidth(node.Vdd, T)
 		low := d.WithVth(d.Vth0 - 0.1)
 		gain := low.IonPerWidth(node.Vdd, T)/ionHigh - 1
@@ -127,11 +136,16 @@ func Figure2Figure(rows []Figure2Row) *report.Figure {
 // normalized delay (Figure 3) and Pdynamic/Pstatic at activity 0.1
 // (Figure 4).
 func Figure3And4(vdds []float64) (fig3, fig4 *report.Figure, err error) {
+	return Figure3And4In(device.BaseLab(), vdds)
+}
+
+// Figure3And4In is Figure3And4 against an explicit laboratory.
+func Figure3And4In(lab *device.Lab, vdds []float64) (fig3, fig4 *report.Figure, err error) {
 	if len(vdds) == 0 {
 		vdds = mathx.Linspace(0.2, 0.6, 17)
 	}
-	node := itrs.MustNode(35)
-	ex, err := core.NewExplorer(35, units.RoomTemperature, 0.1, node.ClockHz)
+	node := lab.MustNode(35)
+	ex, err := core.NewExplorerIn(lab, 35, units.RoomTemperature, 0.1, node.ClockHz)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,9 +189,14 @@ type Figure5Row struct {
 
 // Figure5 reproduces the power-distribution scaling analysis.
 func Figure5() ([]Figure5Row, error) {
+	return Figure5In(device.BaseLab())
+}
+
+// Figure5In is Figure5 against an explicit laboratory.
+func Figure5In(lab *device.Lab) ([]Figure5Row, error) {
 	var rows []Figure5Row
-	for _, nm := range itrs.Nodes() {
-		node := itrs.MustNode(nm)
+	for _, nm := range lab.NodesNM() {
+		node := lab.MustNode(nm)
 		minSpec := powergrid.DefaultSpec(node, node.BumpPitchMinM)
 		itrsSpec := powergrid.DefaultSpec(node, node.EffectiveBumpPitchM())
 		szMin, err := minSpec.SizeRails()

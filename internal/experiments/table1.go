@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"nanometer/internal/device"
 	"nanometer/internal/itrs"
 	"nanometer/internal/report"
 )
@@ -31,6 +32,12 @@ type Table1Row struct {
 // meets the Ion target; 70 nm-class devices at 1.2 V pay +78 % dynamic
 // power vs the 0.9 V roadmap supply).
 func Table1() []Table1Row {
+	return Table1In(device.BaseLab())
+}
+
+// Table1In is Table1 against an explicit laboratory: published devices are
+// compared to the laboratory's supplies rather than the base roadmap's.
+func Table1In(lab *device.Lab) []Table1Row {
 	var rows []Table1Row
 	for _, d := range itrs.Table1Published() {
 		label := fmt.Sprintf("%d", d.ITRSNodeNM)
@@ -49,7 +56,7 @@ func Table1() []Table1Row {
 			IoffNAPerUM: d.IoffNAPerUM,
 			MeetsSub1V:  d.MeetsITRSSub1V(),
 		}
-		if node, err := itrs.ByNode(nearest); err == nil && node.Vdd < d.Vdd {
+		if node, err := lab.Node(nearest); err == nil && node.Vdd < d.Vdd {
 			row.PowerPenalty = d.DynamicPowerPenalty(node.Vdd)
 		}
 		rows = append(rows, row)
@@ -70,11 +77,16 @@ func Table1() []Table1Row {
 
 // Table1Report renders Table 1.
 func Table1Report() *report.Table {
+	return Table1ReportIn(device.BaseLab())
+}
+
+// Table1ReportIn is Table1Report against an explicit laboratory.
+func Table1ReportIn(lab *device.Lab) *report.Table {
 	t := &report.Table{
 		Title:   "Table 1. Recent NMOS device results, compared with ITRS projections",
 		Headers: []string{"Ref", "node (nm)", "Tox (Å)", "Vdd (V)", "Ion (µA/µm)", "Ioff (nA/µm)", "sub-1V+Ion?", "Pdyn penalty"},
 	}
-	for _, r := range Table1() {
+	for _, r := range Table1In(lab) {
 		tox := fmt.Sprintf("%.0f", r.ToxAngstrom)
 		if r.Electrical {
 			tox += " (elec)"

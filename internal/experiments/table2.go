@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"nanometer/internal/device"
-	"nanometer/internal/itrs"
 	"nanometer/internal/report"
 	"nanometer/internal/units"
 )
@@ -55,7 +54,12 @@ func PaperTable2(nodeNM int, vdd float64) (vth, ioff, ioffMG float64, ok bool) {
 // drive target from Eqs. 2–3, then evaluate Eq. 4 leakage for the poly-gate
 // (electrical-oxide) and metal-gate device variants.
 func Table2() ([]Table2Row, error) {
-	ref, err := device.ForNode(180)
+	return Table2In(device.BaseLab())
+}
+
+// Table2In is Table2 against an explicit laboratory.
+func Table2In(lab *device.Lab) ([]Table2Row, error) {
+	ref, err := lab.ForNode(180)
 	if err != nil {
 		return nil, err
 	}
@@ -64,11 +68,11 @@ func Table2() ([]Table2Row, error) {
 
 	var rows []Table2Row
 	addRow := func(nodeNM int, vdd float64) error {
-		d, err := device.ForNode(nodeNM)
+		d, err := lab.ForNode(nodeNM)
 		if err != nil {
 			return err
 		}
-		node := itrs.MustNode(nodeNM)
+		node := lab.MustNode(nodeNM)
 		T := units.RoomTemperature
 		vth, err := d.SolveVthForIon(node.IonTargetAPerM, vdd, T)
 		if err != nil {
@@ -95,8 +99,8 @@ func Table2() ([]Table2Row, error) {
 		rows = append(rows, row)
 		return nil
 	}
-	for _, nm := range itrs.Nodes() {
-		node := itrs.MustNode(nm)
+	for _, nm := range lab.NodesNM() {
+		node := lab.MustNode(nm)
 		if err := addRow(nm, node.Vdd); err != nil {
 			return nil, err
 		}
@@ -111,7 +115,12 @@ func Table2() ([]Table2Row, error) {
 
 // Table2Report renders the reproduction with paper-vs-measured columns.
 func Table2Report() (*report.Table, error) {
-	rows, err := Table2()
+	return Table2ReportIn(device.BaseLab())
+}
+
+// Table2ReportIn is Table2Report against an explicit laboratory.
+func Table2ReportIn(lab *device.Lab) (*report.Table, error) {
+	rows, err := Table2In(lab)
 	if err != nil {
 		return nil, err
 	}

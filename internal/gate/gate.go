@@ -94,13 +94,19 @@ func NewInverter(n, p *device.Device, wnOverL, wpOverL float64) *Gate {
 }
 
 // ReferenceInverter returns the Figure 1/3/4 inverter (Wn/L = 4, Wp/L = 8)
-// for a roadmap node.
+// for a node of the base roadmap.
 func ReferenceInverter(nodeNM int) (*Gate, error) {
-	n, err := device.ForNode(nodeNM)
+	return ReferenceInverterIn(device.BaseLab(), nodeNM)
+}
+
+// ReferenceInverterIn is ReferenceInverter against an explicit laboratory
+// (scenario roadmaps thread through here).
+func ReferenceInverterIn(lab *device.Lab, nodeNM int) (*Gate, error) {
+	n, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return nil, err
 	}
-	p, err := device.ForNodePMOS(nodeNM)
+	p, err := lab.ForNodePMOS(nodeNM)
 	if err != nil {
 		return nil, err
 	}

@@ -32,10 +32,15 @@ type Block struct {
 // NewBlock builds a power-gated block for a node. sleepFraction sizes the
 // footer as a fraction of the logic width (typical 5–15 %).
 func NewBlock(nodeNM int, logicWidthM, sleepFraction, activeCurrentA float64) (*Block, error) {
+	return NewBlockIn(device.BaseLab(), nodeNM, logicWidthM, sleepFraction, activeCurrentA)
+}
+
+// NewBlockIn is NewBlock against an explicit laboratory.
+func NewBlockIn(lab *device.Lab, nodeNM int, logicWidthM, sleepFraction, activeCurrentA float64) (*Block, error) {
 	if sleepFraction <= 0 || sleepFraction > 1 {
 		return nil, fmt.Errorf("mtcmos: sleep fraction %g outside (0,1]", sleepFraction)
 	}
-	low, err := device.ForNode(nodeNM)
+	low, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return nil, err
 	}

@@ -11,7 +11,6 @@ import (
 
 	"nanometer/internal/device"
 	"nanometer/internal/gate"
-	"nanometer/internal/itrs"
 	"nanometer/internal/units"
 )
 
@@ -63,15 +62,20 @@ const VthOffsetHigh = 0.10
 // Vdd levels {Vdd, lowRatio·Vdd} and Vth levels {nominal, nominal+100 mV}.
 // Pass lowRatio = 0 for a single-supply technology.
 func NewTech(nodeNM int, lowRatio float64) (*Tech, error) {
-	n, err := device.ForNode(nodeNM)
+	return NewTechIn(device.BaseLab(), nodeNM, lowRatio)
+}
+
+// NewTechIn is NewTech against an explicit laboratory.
+func NewTechIn(lab *device.Lab, nodeNM int, lowRatio float64) (*Tech, error) {
+	n, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return nil, err
 	}
-	p, err := device.ForNodePMOS(nodeNM)
+	p, err := lab.ForNodePMOS(nodeNM)
 	if err != nil {
 		return nil, err
 	}
-	node, err := itrs.ByNode(nodeNM)
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return nil, err
 	}

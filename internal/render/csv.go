@@ -17,8 +17,13 @@ import (
 // here too.
 type CSV struct{}
 
-// Encode writes the result's items in order.
+// Encode writes the result's items in order. A scenario-labeled result
+// leads with a "# scenario:" comment; the empty label emits nothing extra,
+// preserving byte identity with the pre-scenario output.
 func (CSV) Encode(w io.Writer, res *result.Result) error {
+	if res.Scenario != "" {
+		fmt.Fprintf(w, "# scenario: %s\n", res.Scenario)
+	}
 	for _, it := range res.Items {
 		var err error
 		switch {

@@ -22,8 +22,13 @@ type Text struct {
 	Verbose bool
 }
 
-// Encode writes the result's items in order.
+// Encode writes the result's items in order. A scenario-labeled result is
+// announced first; the empty label (the base roadmap) emits nothing extra,
+// preserving byte identity with the pre-scenario output.
 func (t Text) Encode(w io.Writer, res *result.Result) error {
+	if res.Scenario != "" {
+		fmt.Fprintf(w, "[scenario %s]\n", res.Scenario)
+	}
 	for _, it := range res.Items {
 		var err error
 		switch {

@@ -12,7 +12,6 @@ import (
 
 	"nanometer/internal/device"
 	"nanometer/internal/gate"
-	"nanometer/internal/itrs"
 	"nanometer/internal/mathx"
 	"nanometer/internal/wire"
 )
@@ -31,15 +30,23 @@ type Driver struct {
 // supply and temperature tKelvin. The unit cell is a Wn/L = 1, Wp/L = 2
 // inverter.
 func UnitDriver(nodeNM int, tKelvin float64) (Driver, error) {
-	n, err := device.ForNode(nodeNM)
+	return UnitDriverIn(device.BaseLab(), nodeNM, tKelvin)
+}
+
+// UnitDriverIn is UnitDriver against an explicit laboratory.
+func UnitDriverIn(lab *device.Lab, nodeNM int, tKelvin float64) (Driver, error) {
+	n, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return Driver{}, err
 	}
-	p, err := device.ForNodePMOS(nodeNM)
+	p, err := lab.ForNodePMOS(nodeNM)
 	if err != nil {
 		return Driver{}, err
 	}
-	node := itrs.MustNode(nodeNM)
+	node, err := lab.Node(nodeNM)
+	if err != nil {
+		return Driver{}, err
+	}
 	inv := gate.NewInverter(n, p, 1, 2)
 	in := n.IonPerWidth(node.Vdd, tKelvin) * inv.WnM
 	ip := p.IonPerWidth(node.Vdd, tKelvin) * inv.WpM
@@ -198,16 +205,21 @@ func (p *CensusParams) fill(nodeNM int) {
 // TakeCensus estimates the repeater count and signaling power for a node
 // under the repeated full-swing CMOS paradigm.
 func TakeCensus(nodeNM int, params CensusParams) (Census, error) {
+	return TakeCensusIn(device.BaseLab(), nodeNM, params)
+}
+
+// TakeCensusIn is TakeCensus against an explicit laboratory.
+func TakeCensusIn(lab *device.Lab, nodeNM int, params CensusParams) (Census, error) {
 	params.fill(nodeNM)
-	node, err := itrs.ByNode(nodeNM)
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return Census{}, err
 	}
-	d, err := UnitDriver(nodeNM, params.Temperature)
+	d, err := UnitDriverIn(lab, nodeNM, params.Temperature)
 	if err != nil {
 		return Census{}, err
 	}
-	line, err := wire.ForNode(nodeNM, wire.Global)
+	line, err := wire.ForNodeIn(lab.Table(), nodeNM, wire.Global)
 	if err != nil {
 		return Census{}, err
 	}

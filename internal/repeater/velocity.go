@@ -3,7 +3,7 @@ package repeater
 import (
 	"fmt"
 
-	"nanometer/internal/itrs"
+	"nanometer/internal/device"
 	"nanometer/internal/wire"
 )
 
@@ -38,20 +38,26 @@ type ClockFeasibility struct {
 
 // EvaluateClockFeasibility computes the comparison for a node at 85 °C.
 func EvaluateClockFeasibility(nodeNM int) (ClockFeasibility, error) {
-	node, err := itrs.ByNode(nodeNM)
+	return EvaluateClockFeasibilityIn(device.BaseLab(), nodeNM)
+}
+
+// EvaluateClockFeasibilityIn is EvaluateClockFeasibility against an explicit
+// laboratory.
+func EvaluateClockFeasibilityIn(lab *device.Lab, nodeNM int) (ClockFeasibility, error) {
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return ClockFeasibility{}, err
 	}
-	d, err := UnitDriver(nodeNM, 358.15)
+	d, err := UnitDriverIn(lab, nodeNM, 358.15)
 	if err != nil {
 		return ClockFeasibility{}, err
 	}
-	scaled, err := wire.ForNode(nodeNM, wire.Global)
+	scaled, err := wire.ForNodeIn(lab.Table(), nodeNM, wire.Global)
 	if err != nil {
 		return ClockFeasibility{}, err
 	}
 	unscaled := wire.UnscaledGlobal()
-	edge, err := wire.CrossChipLength(nodeNM)
+	edge, err := wire.CrossChipLengthIn(lab.Table(), nodeNM)
 	if err != nil {
 		return ClockFeasibility{}, err
 	}

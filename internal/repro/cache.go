@@ -257,16 +257,26 @@ func (a Artifact) storePut(opts Options, res *result.Result) {
 // computeKey hashes the options that reach the models. CSVDir, Plot,
 // Verbose, NoCache, and CacheOnly only affect encoding (or cache policy)
 // and are deliberately excluded, so every encoding of one artifact shares
-// a single cache entry. Any compute-side option (today: MeshN) must be
-// written into this hash or the cache will serve stale results —
-// TestComputeKeyCoversOptions enforces the classification by reflection,
-// so adding a field to Options without teaching it to that test fails the
-// suite.
+// a single cache entry. Any compute-side option (today: MeshN and
+// Scenario) must be written into this hash or the cache will serve stale
+// results — TestComputeKeyCoversOptions enforces the classification by
+// reflection, so adding a field to Options without teaching it to that
+// test fails the suite.
+//
+// The nil scenario contributes nothing, so every pre-scenario cache key —
+// and with it every ETag, result-store file, and peer-ownership hash — is
+// unchanged. A non-nil scenario folds in the digest of its full canonical
+// content: two scenarios differing in any override get distinct keys, and
+// the same scenario document hashes identically across replicas.
 func (o Options) computeKey() string {
 	h := fnv.New64a()
 	io.WriteString(h, "compute-v1")
 	io.WriteString(h, "\x00mesh-n=")
 	io.WriteString(h, strconv.Itoa(o.MeshN))
+	if o.Scenario != nil {
+		io.WriteString(h, "\x00scenario=")
+		io.WriteString(h, o.Scenario.Key())
+	}
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 

@@ -9,6 +9,11 @@ import (
 	"nanometer/internal/signaling"
 )
 
+// Every compute function resolves the options' roadmap through opts.lab()
+// and hands it to the experiments' In-variants: the roadmap is a threaded
+// value, not an ambient global, and the nil scenario resolves to the base
+// laboratory these functions always used.
+
 // This file is the compute layer: one function per artifact, mapping the
 // experiment outputs into typed results (internal/result). No formatting
 // decisions beyond table-cell significant digits live here — prose, plots,
@@ -43,12 +48,20 @@ func claimResult(c *result.Claim) *result.Result {
 
 // --- Tables -------------------------------------------------------------------
 
-func computeTable1(_ Options) (*result.Result, error) {
-	return tableResult(fromReportTable(experiments.Table1Report())), nil
+func computeTable1(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	return tableResult(fromReportTable(experiments.Table1ReportIn(lab))), nil
 }
 
-func computeTable2(_ Options) (*result.Result, error) {
-	t, err := experiments.Table2Report()
+func computeTable2(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	t, err := experiments.Table2ReportIn(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -57,8 +70,12 @@ func computeTable2(_ Options) (*result.Result, error) {
 
 // --- Figures ------------------------------------------------------------------
 
-func computeFigure1(_ Options) (*result.Result, error) {
-	fig, err := experiments.Figure1(nil)
+func computeFigure1(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	fig, err := experiments.Figure1In(lab, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +84,12 @@ func computeFigure1(_ Options) (*result.Result, error) {
 	return res, nil
 }
 
-func computeFigure2(_ Options) (*result.Result, error) {
-	rows, err := experiments.Figure2()
+func computeFigure2(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := experiments.Figure2In(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -93,8 +114,12 @@ func computeFigure2(_ Options) (*result.Result, error) {
 // Figures 3 and 4 share one supply sweep; as independent artifacts each
 // re-runs the sweep (cheap) so neither depends on the other's completion.
 
-func computeFigure3(_ Options) (*result.Result, error) {
-	fig3, _, err := experiments.Figure3And4(nil)
+func computeFigure3(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	fig3, _, err := experiments.Figure3And4In(lab, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -103,8 +128,12 @@ func computeFigure3(_ Options) (*result.Result, error) {
 	return res, nil
 }
 
-func computeFigure4(_ Options) (*result.Result, error) {
-	_, fig4, err := experiments.Figure3And4(nil)
+func computeFigure4(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	_, fig4, err := experiments.Figure3And4In(lab, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -113,8 +142,12 @@ func computeFigure4(_ Options) (*result.Result, error) {
 	return res, nil
 }
 
-func computeFigure5(_ Options) (*result.Result, error) {
-	rows, err := experiments.Figure5()
+func computeFigure5(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := experiments.Figure5In(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -140,8 +173,12 @@ func computeFigure5(_ Options) (*result.Result, error) {
 
 // --- Claims -------------------------------------------------------------------
 
-func computeC1(_ Options) (*result.Result, error) {
-	r, err := experiments.DTM(50)
+func computeC1(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.DTMIn(lab, 50)
 	if err != nil {
 		return nil, err
 	}
@@ -162,8 +199,12 @@ func computeC1(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC2(_ Options) (*result.Result, error) {
-	rows, err := experiments.Signaling()
+func computeC2(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := experiments.SignalingIn(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +232,12 @@ func computeC2(_ Options) (*result.Result, error) {
 	return tableResult(t), nil
 }
 
-func computeC3(_ Options) (*result.Result, error) {
-	r, err := experiments.RunLibrary(experiments.DefaultCircuitSetup())
+func computeC3(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunLibraryIn(lab, experiments.DefaultCircuitSetup())
 	if err != nil {
 		return nil, err
 	}
@@ -212,8 +257,12 @@ func computeC3(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC4(_ Options) (*result.Result, error) {
-	r, err := experiments.RunCVS(experiments.DefaultCircuitSetup())
+func computeC4(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunCVSIn(lab, experiments.DefaultCircuitSetup())
 	if err != nil {
 		return nil, err
 	}
@@ -233,8 +282,12 @@ func computeC4(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC5(_ Options) (*result.Result, error) {
-	r, err := experiments.RunDualVth(experiments.DefaultCircuitSetup())
+func computeC5(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunDualVthIn(lab, experiments.DefaultCircuitSetup())
 	if err != nil {
 		return nil, err
 	}
@@ -248,8 +301,12 @@ func computeC5(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC6(_ Options) (*result.Result, error) {
-	r, err := experiments.RunResizeVsVdd(experiments.DefaultCircuitSetup())
+func computeC6(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunResizeVsVddIn(lab, experiments.DefaultCircuitSetup())
 	if err != nil {
 		return nil, err
 	}
@@ -267,8 +324,12 @@ func computeC6(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC7(_ Options) (*result.Result, error) {
-	r, err := experiments.RunVddFloor()
+func computeC7(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunVddFloorIn(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +343,11 @@ func computeC7(_ Options) (*result.Result, error) {
 }
 
 func computeC8(opts Options) (*result.Result, error) {
-	r, err := experiments.RunBumpsN(opts.MeshN)
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunBumpsNIn(lab, opts.MeshN)
 	if err != nil {
 		return nil, err
 	}
@@ -302,8 +367,12 @@ func computeC8(opts Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC9(_ Options) (*result.Result, error) {
-	r, err := experiments.RunTransients()
+func computeC9(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunTransientsIn(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -325,8 +394,12 @@ func computeC9(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC10(_ Options) (*result.Result, error) {
-	r, err := experiments.RunStackVth(70)
+func computeC10(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunStackVthIn(lab, 70)
 	if err != nil {
 		return nil, err
 	}
@@ -345,8 +418,12 @@ func computeC10(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC11(_ Options) (*result.Result, error) {
-	r, err := experiments.RunStandby()
+func computeC11(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunStandbyIn(lab)
 	if err != nil {
 		return nil, err
 	}
@@ -374,8 +451,12 @@ func computeC11(_ Options) (*result.Result, error) {
 	return tableResult(t), nil
 }
 
-func computeC12(_ Options) (*result.Result, error) {
-	r, err := experiments.RunSwingStudy(50)
+func computeC12(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunSwingStudyIn(lab, 50)
 	if err != nil {
 		return nil, err
 	}
@@ -398,8 +479,12 @@ func computeC12(_ Options) (*result.Result, error) {
 	return claimResult(c), nil
 }
 
-func computeC13(_ Options) (*result.Result, error) {
-	r, err := experiments.RunBusPlan(50)
+func computeC13(opts Options) (*result.Result, error) {
+	lab, err := opts.lab()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunBusPlanIn(lab, 50)
 	if err != nil {
 		return nil, err
 	}

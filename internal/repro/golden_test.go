@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"nanometer/internal/render"
+	"nanometer/internal/result"
 	"nanometer/internal/runner"
 )
 
@@ -49,6 +51,78 @@ func TestGoldenFullReport(t *testing.T) {
 	}
 	compareGolden(t, "jobs=1", got, want)
 	compareGolden(t, "jobs=8", render(8), want)
+}
+
+// TestGoldenJSONReport pins the default `-format json` document byte for
+// byte: the full report marshaled with two-space indent, exactly as
+// cmd/nanorepro emits it. With the scenario engine in place, the nil
+// scenario must add no field ("scenario" is omitempty) and change no value.
+func TestGoldenJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report compute is slow; run without -short")
+	}
+	renderJSON := func(workers int) []byte {
+		results, err := ComputeAll(runner.Pool{Workers: workers}, Artifacts(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := &result.Report{}
+		for _, r := range results {
+			rep.Artifacts = append(rep.Artifacts, r)
+		}
+		var buf bytes.Buffer
+		if err := (render.JSON{Indent: "  "}).EncodeReport(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := renderJSON(1)
+	path := filepath.Join("testdata", "report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -args -update): %v", err)
+	}
+	compareGolden(t, "json jobs=1", got, want)
+	compareGolden(t, "json jobs=8", renderJSON(8), want)
+}
+
+// TestGoldenCSVReport pins the default `-format csv` stream byte for byte
+// at two worker counts.
+func TestGoldenCSVReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report compute is slow; run without -short")
+	}
+	renderCSV := func(workers int) []byte {
+		var buf bytes.Buffer
+		results, err := (runner.Pool{Workers: workers}).RunTo(&buf, EncodeJobs(Artifacts(), Options{}, render.CSV{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Errs(results); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := renderCSV(1)
+	path := filepath.Join("testdata", "report.golden.csv")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -args -update): %v", err)
+	}
+	compareGolden(t, "csv jobs=1", got, want)
+	compareGolden(t, "csv jobs=8", renderCSV(8), want)
 }
 
 // compareGolden reports the first differing line, not just "differs" — the

@@ -12,7 +12,8 @@ package repro
 // field decides its class in the same change, or both gates fail.
 var (
 	computeSideFields = map[string]bool{
-		"MeshN": true,
+		"MeshN":    true,
+		"Scenario": true,
 	}
 	encodeOnlyFields = map[string]bool{
 		"CSVDir":    true,

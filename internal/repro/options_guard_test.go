@@ -68,6 +68,11 @@ func perturb(v reflect.Value) error {
 		v.SetFloat(1.5)
 	case reflect.String:
 		v.SetString("guard-probe")
+	case reflect.Pointer:
+		// A freshly allocated pointee is the minimal non-nil perturbation;
+		// for *scenario.Scenario the zero scenario hashes differently from
+		// nil, which is exactly the behavior the guard must observe.
+		v.Set(reflect.New(v.Type().Elem()))
 	default:
 		return &unsupportedKindError{v.Kind().String()}
 	}

@@ -19,10 +19,12 @@ import (
 	"sort"
 	"strings"
 
+	"nanometer/internal/device"
 	"nanometer/internal/powergrid"
 	"nanometer/internal/render"
 	"nanometer/internal/result"
 	"nanometer/internal/runner"
+	"nanometer/internal/scenario"
 )
 
 // Options configures a run. The zero value reproduces the plain
@@ -51,6 +53,15 @@ type Options struct {
 	// accepting MeshN from users (flags, query strings) must run it
 	// through ValidateMeshN first.
 	MeshN int
+	// Scenario selects the roadmap the models compute against. nil means
+	// the base ITRS-2000 table and reproduces the seed output byte for
+	// byte. A compute-side option: every artifact's numbers depend on the
+	// roadmap, so the scenario's content digest participates in the cache
+	// key (and through it the ETags, result store, and peer ownership).
+	// Scenarios from untrusted input must come through scenario.Parse,
+	// which validates; a sweep-bearing scenario should be expanded with
+	// Variants() before it reaches Options.
+	Scenario *scenario.Scenario
 }
 
 // ValidateMeshN checks a user-supplied mesh dimension at the trust
@@ -75,6 +86,12 @@ func ValidateMeshN(n int) error {
 // Validate checks an Options value assembled from untrusted input.
 func (o Options) Validate() error { return ValidateMeshN(o.MeshN) }
 
+// lab resolves the roadmap the options select: the base laboratory for the
+// nil scenario, the scenario's resolved laboratory otherwise. Resolution is
+// memoized on the scenario, so the 20+ artifacts of one run share a single
+// table build and calibration cache.
+func (o Options) lab() (*device.Lab, error) { return o.Scenario.Resolve() }
+
 // Artifact is one reproducible unit: a stable ID (t1, f3, c8, ...), a title
 // for listings, and a compute function producing its typed result.
 type Artifact struct {
@@ -85,17 +102,57 @@ type Artifact struct {
 
 // compute runs the artifact's compute function and stamps the registry
 // identity onto the result, so compute functions stay ignorant of their
-// registration.
+// registration. Under a scenario it also stamps the scenario name and
+// swaps the paper's quoted-value checks for the scenario's expectations.
 func (a Artifact) compute(opts Options) (*result.Result, error) {
 	res, err := a.Compute(opts)
 	if err != nil {
 		return nil, err
 	}
 	res.ID, res.Title = a.ID, a.Title
+	if opts.Scenario != nil {
+		res.Scenario = opts.Scenario.Name
+		if err := applyScenarioChecks(res, opts.Scenario); err != nil {
+			return nil, err
+		}
+	}
 	if err := res.Validate(); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// applyScenarioChecks relaxes a result computed under a non-base roadmap:
+// the paper's quoted numbers describe the ITRS-2000 table, so their checks
+// are dropped, and the scenario's own expectations (scenario-appropriate
+// values with their own tolerances) are installed in their place. An
+// expectation naming a finding the artifact doesn't produce is an error —
+// a typo in an expectation must fail loudly, not silently always-pass.
+func applyScenarioChecks(res *result.Result, s *scenario.Scenario) error {
+	expect := s.ExpectFor(res.ID)
+	matched := make([]bool, len(expect))
+	for _, it := range res.Items {
+		if it.Claim == nil {
+			continue
+		}
+		for i := range it.Claim.Findings {
+			f := &it.Claim.Findings[i]
+			f.Check = nil
+			for j, e := range expect {
+				if f.Key == e.Check {
+					f.Check = result.NewCheck(f.Value, e.Value, e.RelTol)
+					matched[j] = true
+				}
+			}
+		}
+	}
+	for j, e := range expect {
+		if !matched[j] {
+			return fmt.Errorf("repro: scenario %s expects %s/%s, but artifact %s has no such finding",
+				s.Name, e.Artifact, e.Check, res.ID)
+		}
+	}
+	return nil
 }
 
 // Render computes the artifact (through the cache unless opts.NoCache) and

@@ -17,6 +17,10 @@ type Result struct {
 	ID string `json:"id"`
 	// Title is the registry title used in listings.
 	Title string `json:"title"`
+	// Scenario names the roadmap scenario the result was computed under.
+	// Empty means the base ITRS-2000 roadmap — the byte-identity case, so
+	// every encoder must emit nothing for it.
+	Scenario string `json:"scenario,omitempty"`
 	// Items are the artifact's outputs in emission order.
 	Items []Item `json:"items"`
 }

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioParse fuzzes the scenario trust boundary (files on disk, POST
+// bodies). Properties: hostile input errors, never panics; any accepted
+// scenario is internally valid (Validate agrees), and its canonical encoding
+// is a fixed point — Parse(Canonical(s)) succeeds and re-encodes to the same
+// bytes, so cache keys derived from Canonical are stable across a store/load
+// round trip.
+func FuzzScenarioParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`hello`,
+		`{"name":"base"}`,
+		`{"name":"x","nodes":[{"node_nm":70,"vdd_v":1.0}]}`,
+		`{"name":"ext","nodes":[{"node_nm":65,"year":2007,"vdd_v":0.85,"tox_nm":0.95,"leff_nm":32}]}`,
+		`{"name":"s","sweep":{"param":"vdd","steps":9,"span_pct":20}}`,
+		`{"name":"s","sweep":{"param":"vdd","steps":9,"span_pct":20,"nodes":[70]}}`,
+		`{"name":"e","expect":[{"artifact":"c7","check":"vdd_floor","value":0.5,"rel_tol":0.2}]}`,
+		`{"name":"x","nodes":[{"node_nm":70,"vdd_v":1e308}]}`,
+		`{"name":"x","nodes":[{"node_nm":70,"vdd_v":null}]}`,
+		`{"name":"x","title":"t","notes":["a","b"]}`,
+		`{"name":"x"} trailing`,
+		`{"name":"x","wat":1}`,
+		`{"name":"x","nodes":[{"node_nm":-70}]}`,
+		`[{"name":"x"}]`,
+		`{"name":"x","nodes":[{"node_nm":70,"dibl_v_per_v":0.6}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data) // must never panic
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("Parse rejected input with an empty message")
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario its own Validate rejects: %v", err)
+		}
+		canon := s.Canonical()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical encoding of an accepted scenario fails to re-parse: %v\ncanonical: %s", err, canon)
+		}
+		if !bytes.Equal(canon, s2.Canonical()) {
+			t.Fatalf("canonical encoding is not a fixed point:\n first: %s\nsecond: %s", canon, s2.Canonical())
+		}
+		if s.Key() != s2.Key() {
+			t.Fatal("round-tripped scenario changed its cache key")
+		}
+	})
+}

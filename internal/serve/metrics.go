@@ -22,10 +22,11 @@ type metrics struct {
 	timeouts       *obs.Counter    // nanoreprod_request_timeouts_total
 	rejected       *obs.Counter    // nanoreprod_gate_rejections_total
 
-	singleflightShared *obs.Counter // nanoreprod_singleflight_shared_total
-	peerHits           *obs.Counter // nanoreprod_peer_hits_total
-	peerFallthrough    *obs.Counter // nanoreprod_peer_fallthrough_total
-	peerServes         *obs.Counter // nanoreprod_peer_result_requests_total
+	singleflightShared *obs.Counter    // nanoreprod_singleflight_shared_total
+	peerHits           *obs.Counter    // nanoreprod_peer_hits_total
+	peerFallthrough    *obs.Counter    // nanoreprod_peer_fallthrough_total
+	peerServes         *obs.Counter    // nanoreprod_peer_result_requests_total
+	scenarioComputes   *obs.CounterVec // nanoreprod_scenario_computes_total{scenario}
 }
 
 func newMetrics(g *gate, st *store.Store) *metrics {
@@ -54,6 +55,8 @@ func newMetrics(g *gate, st *store.Store) *metrics {
 			"Peer consultations that failed (down, slow, corrupt) and fell through to a local solve."),
 		peerServes: reg.Counter("nanoreprod_peer_result_requests_total",
 			"Internal result requests served to sibling replicas."),
+		scenarioComputes: reg.CounterVec("nanoreprod_scenario_computes_total",
+			"Scenario-variant computes by base scenario name (sweep suffixes folded into the parent; names past the cardinality cap land in \"other\").", "scenario"),
 	}
 	// The compute cache instruments live in internal/repro (they are
 	// bumped inside ComputeCached itself); exported here as scrape-time

@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"nanometer/internal/experiments"
@@ -89,6 +90,11 @@ type Server struct {
 	jobs    int
 	met     *metrics
 	mux     *http.ServeMux
+
+	// scenarioNames is the admitted metrics-label set for scenario names
+	// (bounded; see scenarioLabel).
+	labelMu       sync.Mutex
+	scenarioNames map[string]bool
 }
 
 // New builds a Server from cfg.
@@ -113,12 +119,13 @@ func New(cfg Config) *Server {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		byID:    make(map[string]repro.Artifact, len(arts)),
-		order:   arts,
-		gate:    newGate(units),
-		flights: newFlightGroup(),
-		timeout: timeout,
-		jobs:    jobs,
+		byID:          make(map[string]repro.Artifact, len(arts)),
+		order:         arts,
+		gate:          newGate(units),
+		flights:       newFlightGroup(),
+		timeout:       timeout,
+		jobs:          jobs,
+		scenarioNames: make(map[string]bool),
 	}
 	for _, a := range arts {
 		s.byID[a.ID] = a
@@ -144,6 +151,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/artifacts", s.handleIndex)
 	s.mux.HandleFunc("GET /api/v1/artifacts/{id}", s.handleArtifact)
 	s.mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	s.mux.HandleFunc("POST /api/v1/scenarios", s.handleScenarios)
 	// The replica-to-replica result exchange: bare typed-result JSON, no
 	// encoding options, and — the loop-prevention invariant — served
 	// strictly from local compute (never re-forwarded to another peer).

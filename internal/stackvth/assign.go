@@ -3,6 +3,8 @@ package stackvth
 import (
 	"fmt"
 	"math"
+
+	"nanometer/internal/device"
 )
 
 // Assignment is one intra-cell Vth configuration of a stack.
@@ -23,6 +25,11 @@ type Assignment struct {
 // Vth at position k, bottom first). The first entry is the all-low
 // reference.
 func Explore(nodeNM, n int, widthM, vthLow, vthHigh, loadF float64) ([]Assignment, error) {
+	return ExploreIn(device.BaseLab(), nodeNM, n, widthM, vthLow, vthHigh, loadF)
+}
+
+// ExploreIn is Explore against an explicit laboratory.
+func ExploreIn(lab *device.Lab, nodeNM, n int, widthM, vthLow, vthHigh, loadF float64) ([]Assignment, error) {
 	if vthHigh <= vthLow {
 		return nil, fmt.Errorf("stackvth: vthHigh %g must exceed vthLow %g", vthHigh, vthLow)
 	}
@@ -37,7 +44,7 @@ func Explore(nodeNM, n int, widthM, vthLow, vthHigh, loadF float64) ([]Assignmen
 				vths[k] = vthLow
 			}
 		}
-		st, err := NewStack(nodeNM, n, widthM, vths)
+		st, err := NewStackIn(lab, nodeNM, n, widthM, vths)
 		if err != nil {
 			return nil, err
 		}

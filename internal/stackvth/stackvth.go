@@ -37,13 +37,18 @@ type Stack struct {
 // NewStack builds an n-high stack for a node with the given per-position
 // thresholds (bottom first).
 func NewStack(nodeNM int, n int, widthM float64, vths []float64) (*Stack, error) {
+	return NewStackIn(device.BaseLab(), nodeNM, n, widthM, vths)
+}
+
+// NewStackIn is NewStack against an explicit laboratory.
+func NewStackIn(lab *device.Lab, nodeNM int, n int, widthM float64, vths []float64) (*Stack, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("stackvth: need at least one device, got %d", n)
 	}
 	if len(vths) != n {
 		return nil, fmt.Errorf("stackvth: %d thresholds for %d devices", len(vths), n)
 	}
-	base, err := device.ForNode(nodeNM)
+	base, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return nil, err
 	}

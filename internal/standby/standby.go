@@ -13,7 +13,6 @@ import (
 	"math"
 
 	"nanometer/internal/device"
-	"nanometer/internal/itrs"
 	"nanometer/internal/mtcmos"
 	"nanometer/internal/stackvth"
 	"nanometer/internal/units"
@@ -99,7 +98,13 @@ func bodyEffectMV(nodeNM int) float64 {
 // characterized by its total NMOS width (m); the scalability flag compares
 // the benefit against the same technique at the 180 nm reference node.
 func Evaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
-	res, err := rawEvaluate(t, nodeNM, logicWidthM)
+	return EvaluateIn(device.BaseLab(), t, nodeNM, logicWidthM)
+}
+
+// EvaluateIn is Evaluate against an explicit laboratory. The scalability
+// reference stays the 180 nm node of the same laboratory.
+func EvaluateIn(lab *device.Lab, t Technique, nodeNM int, logicWidthM float64) (Result, error) {
+	res, err := rawEvaluate(lab, t, nodeNM, logicWidthM)
 	if err != nil {
 		return Result{}, err
 	}
@@ -107,7 +112,7 @@ func Evaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
 		res.Scalable = true
 		return res, nil
 	}
-	ref, err := rawEvaluate(t, 180, logicWidthM)
+	ref, err := rawEvaluate(lab, t, 180, logicWidthM)
 	if err != nil {
 		return Result{}, err
 	}
@@ -115,12 +120,12 @@ func Evaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
 	return res, nil
 }
 
-func rawEvaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
-	node, err := itrs.ByNode(nodeNM)
+func rawEvaluate(lab *device.Lab, t Technique, nodeNM int, logicWidthM float64) (Result, error) {
+	node, err := lab.Node(nodeNM)
 	if err != nil {
 		return Result{}, err
 	}
-	d, err := device.ForNode(nodeNM)
+	d, err := lab.ForNode(nodeNM)
 	if err != nil {
 		return Result{}, err
 	}
@@ -130,7 +135,7 @@ func rawEvaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
 	res := Result{Technique: t, NodeNM: nodeNM}
 	switch t {
 	case MTCMOSGating:
-		blk, err := mtcmos.NewBlock(nodeNM, logicWidthM, 0.08, 50*logicWidthM)
+		blk, err := mtcmos.NewBlockIn(lab, nodeNM, logicWidthM, 0.08, 50*logicWidthM)
 		if err != nil {
 			return Result{}, err
 		}
@@ -157,7 +162,7 @@ func rawEvaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
 		res.Notes = "gate underdrive acts directly on the exponential; needs an extra rail"
 	case InputVectorControl:
 		// Park a representative 2-stack in its best state vs the average.
-		st, err := stackvth.NewStack(nodeNM, 2, 4*d.LeffM, []float64{d.Vth0, d.Vth0})
+		st, err := stackvth.NewStackIn(lab, nodeNM, 2, 4*d.LeffM, []float64{d.Vth0, d.Vth0})
 		if err != nil {
 			return Result{}, err
 		}
@@ -193,9 +198,14 @@ func rawEvaluate(t Technique, nodeNM int, logicWidthM float64) (Result, error) {
 
 // Compare evaluates all techniques at a node.
 func Compare(nodeNM int, logicWidthM float64) ([]Result, error) {
+	return CompareIn(device.BaseLab(), nodeNM, logicWidthM)
+}
+
+// CompareIn is Compare against an explicit laboratory.
+func CompareIn(lab *device.Lab, nodeNM int, logicWidthM float64) ([]Result, error) {
 	out := make([]Result, 0, len(Techniques()))
 	for _, t := range Techniques() {
-		r, err := Evaluate(t, nodeNM, logicWidthM)
+		r, err := EvaluateIn(lab, t, nodeNM, logicWidthM)
 		if err != nil {
 			return nil, fmt.Errorf("standby: %v at %d nm: %w", t, nodeNM, err)
 		}
@@ -207,9 +217,14 @@ func Compare(nodeNM int, logicWidthM float64) ([]Result, error) {
 // ScalingTrend evaluates one technique across the roadmap, exposing how its
 // benefit holds up (body bias decays; the others hold).
 func ScalingTrend(t Technique, logicWidthM float64) ([]Result, error) {
+	return ScalingTrendIn(device.BaseLab(), t, logicWidthM)
+}
+
+// ScalingTrendIn is ScalingTrend against an explicit laboratory.
+func ScalingTrendIn(lab *device.Lab, t Technique, logicWidthM float64) ([]Result, error) {
 	var out []Result
-	for _, nm := range itrs.Nodes() {
-		r, err := Evaluate(t, nm, logicWidthM)
+	for _, nm := range lab.NodesNM() {
+		r, err := EvaluateIn(lab, t, nm, logicWidthM)
 		if err != nil {
 			return nil, err
 		}

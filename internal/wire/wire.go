@@ -67,9 +67,15 @@ func defaultCouplingFraction(t Tier) float64 {
 	}
 }
 
-// ForNode returns the wire model for a tier of a roadmap node.
+// ForNode returns the wire model for a tier of a base-roadmap node.
 func ForNode(nodeNM int, tier Tier) (Line, error) {
-	n, err := itrs.ByNode(nodeNM)
+	return ForNodeIn(itrs.Base(), nodeNM, tier)
+}
+
+// ForNodeIn is ForNode against an explicit roadmap table (scenario wire
+// geometry threads through here).
+func ForNodeIn(t *itrs.Table, nodeNM int, tier Tier) (Line, error) {
+	n, err := t.ByNode(nodeNM)
 	if err != nil {
 		return Line{}, err
 	}
@@ -168,7 +174,12 @@ func (l Line) TimeOfFlightBound(lengthM float64) float64 {
 // "corner-to-corner-ish" global wire the paper's cross-chip communication
 // concerns: the die is modeled square.
 func CrossChipLength(nodeNM int) (float64, error) {
-	n, err := itrs.ByNode(nodeNM)
+	return CrossChipLengthIn(itrs.Base(), nodeNM)
+}
+
+// CrossChipLengthIn is CrossChipLength against an explicit roadmap table.
+func CrossChipLengthIn(t *itrs.Table, nodeNM int) (float64, error) {
+	n, err := t.ByNode(nodeNM)
 	if err != nil {
 		return 0, err
 	}
