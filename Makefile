@@ -4,20 +4,23 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify bench bench-all bench-mesh bench-report serve bench-serve bench-replicas
+.PHONY: all build test race vet lint verify bench bench-all bench-mesh bench-cutoff bench-report serve bench-serve bench-replicas
 
 all: verify
 
 # The PR's committed benchmark evidence: run the solver/report benchmarks
 # and write machine-readable numbers (ns/op, allocs/op, solver iterations,
 # GOMAXPROCS) with the seed baseline embedded for before/after diffing.
-# The HTTP load run appends the serving-layer numbers (throughput, latency
-# percentiles, cache hit ratio) to the same output.
-BENCH_OUT ?= BENCH_3.json
+# BENCH_CPU repeats the selection at each GOMAXPROCS so the serial and
+# parallel numbers land as separate rows of one document. The HTTP load
+# run appends the serving-layer numbers (throughput, latency percentiles,
+# cache hit ratio) to the same output.
+BENCH_OUT ?= BENCH_8.json
 BENCH_BASELINE ?= bench_seed.json
+BENCH_CPU ?= 1,4
 
 bench:
-	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -baseline $(BENCH_BASELINE) -cpu $(BENCH_CPU)
 	$(MAKE) bench-serve
 	$(MAKE) bench-replicas
 
@@ -70,9 +73,16 @@ bench-all:
 
 # The hot IR-drop kernel: seed-style allocating CG vs workspace CG vs
 # Jacobi PCG vs the multigrid-preconditioned production path
-# (powergrid.Mesh.Solve), at n = 63 and 255.
+# (powergrid.Mesh.Solve) at n = 63 and 255, the smoother ablation
+# (Jacobi / red-black GS / Chebyshev ± FMG), and the 9-variant batched
+# sweep vs independent solves.
 bench-mesh:
-	$(GO) test -bench='BenchmarkMeshSolve' -run='^$$' -benchmem .
+	$(GO) test -bench='BenchmarkMeshSolve|BenchmarkSmoothers|BenchmarkSweepBatch' -run='^$$' -benchmem .
+
+# The parallel-cutoff micro-benchmark behind mathx.parCutoff: serial axpy
+# vs parForBlocks across the cutoff, at GOMAXPROCS 1 and 4.
+bench-cutoff:
+	$(GO) test -bench='BenchmarkParCutoff' -run='^$$' -cpu 1,4 ./internal/mathx
 
 # Full-report wall clock at -jobs=1 vs -jobs=NumCPU.
 bench-report:

@@ -3,8 +3,11 @@
 // document (by convention committed as BENCH_<pr>.json), so performance
 // claims in review are pinned to numbers a script can diff rather than
 // prose. The default selection covers the solver kernels (per-variant
-// ns/op, allocs/op, and solver iteration counts), the RC-transient
-// validator, and the full-report wall clock at each worker count.
+// ns/op, allocs/op, and solver iteration counts), the smoother ablation,
+// the batched sweep solve, the RC-transient validator, and the
+// full-report wall clock at each worker count. With -cpu the whole
+// selection repeats per GOMAXPROCS value, pinning the serial/parallel
+// matrix in one document.
 //
 // A prior run's JSON can be attached under "baseline" with -baseline,
 // putting before/after in a single committed file:
@@ -36,6 +39,10 @@ type Report struct {
 	// Bench is the -bench regexp the run used; Benchtime the -benchtime.
 	Bench     string `json:"bench"`
 	Benchtime string `json:"benchtime"`
+	// CPUList is the -cpu matrix the run used (empty: the ambient
+	// GOMAXPROCS only). With a matrix, each benchmark repeats once per
+	// value and its row records which one under "gomaxprocs".
+	CPUList string `json:"cpu_list,omitempty"`
 	// Benchmarks holds one entry per benchmark (or sub-benchmark) line.
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// Baseline optionally embeds a previous report for before/after
@@ -50,6 +57,10 @@ type Benchmark struct {
 	Name string `json:"name"`
 	// N is the harness iteration count the stats were averaged over.
 	N int64 `json:"n"`
+	// GOMAXPROCS is the parallelism this row ran at, parsed from the
+	// `-N` suffix the bench harness appends (absent suffix means 1).
+	// With `-cpu 1,4` runs the same Name appears once per value.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// NsPerOp is wall time per operation.
 	NsPerOp float64 `json:"ns_per_op"`
 	// BytesPerOp / AllocsPerOp are present when the run used -benchmem.
@@ -62,9 +73,10 @@ type Benchmark struct {
 func main() {
 	var (
 		out       = flag.String("out", "", "output file (default stdout)")
-		bench     = flag.String("bench", "BenchmarkMeshSolve|BenchmarkValidationRCSim|BenchmarkFullReport", "go test -bench regexp")
+		bench     = flag.String("bench", "BenchmarkMeshSolve|BenchmarkSmoothers|BenchmarkSweepBatch|BenchmarkValidationRCSim|BenchmarkFullReport", "go test -bench regexp")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		pkg       = flag.String("pkg", ".", "package pattern holding the benchmarks")
+		cpu       = flag.String("cpu", "", "go test -cpu matrix, e.g. 1,4 (each benchmark repeats per GOMAXPROCS value)")
 		baseline  = flag.String("baseline", "", "prior benchjson output to embed under \"baseline\"")
 	)
 	flag.Parse()
@@ -75,6 +87,7 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Bench:       *bench,
 		Benchtime:   *benchtime,
+		CPUList:     *cpu,
 	}
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
@@ -89,8 +102,12 @@ func main() {
 		rep.Baseline.Baseline = nil
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, "-benchmem", *pkg)
+	argv := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem"}
+	if *cpu != "" {
+		argv = append(argv, "-cpu", *cpu)
+	}
+	cmd := exec.Command("go", append(argv, *pkg)...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	// Benchmarks print before a potential failure; surface both.
@@ -142,7 +159,8 @@ func parseBenchOutput(out string) (cpu string, benches []Benchmark) {
 		if err != nil {
 			continue
 		}
-		b := Benchmark{Name: trimProcSuffix(fields[0]), N: n}
+		name, procs := splitProcSuffix(fields[0])
+		b := Benchmark{Name: name, GOMAXPROCS: procs, N: n}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -169,18 +187,20 @@ func parseBenchOutput(out string) (cpu string, benches []Benchmark) {
 	return cpu, benches
 }
 
-// trimProcSuffix drops the trailing -<GOMAXPROCS> the bench harness
-// appends when GOMAXPROCS > 1, keeping names stable across machines (the
-// report records GOMAXPROCS separately).
-func trimProcSuffix(name string) string {
+// splitProcSuffix separates the trailing -<GOMAXPROCS> the bench harness
+// appends when GOMAXPROCS > 1, keeping names stable across machines and
+// -cpu matrix values while preserving the parallelism as data. The harness
+// omits the suffix at GOMAXPROCS = 1, so a bare name means 1.
+func splitProcSuffix(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 1
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs < 1 {
+		return name, 1
 	}
-	return name[:i]
+	return name[:i], procs
 }
 
 func fatal(err error) {

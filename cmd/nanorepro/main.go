@@ -100,26 +100,30 @@ func main() {
 	pool := runner.Pool{Workers: *jobs}
 	opts := repro.Options{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose, MeshN: *meshN}
 
+	// All variants flatten into ONE pool run (variant-major, so output is
+	// byte-identical to the historical per-variant loop at any -jobs):
+	// workers stay busy across variant boundaries, and the sweep's mesh
+	// solves are batch-primed through one shared pattern traversal before
+	// the jobs start.
 	failed := false
 	rep := &result.Report{}
-	for _, v := range variants {
-		opts.Scenario = v
-		switch *format {
-		case "text":
-			failed = stream(pool, repro.Jobs(arts, opts)) || failed
-		case "csv":
-			failed = stream(pool, repro.EncodeJobs(arts, opts, render.CSV{})) || failed
-		case "json":
-			results, aggErr := repro.ComputeAll(pool, arts, opts)
+	switch *format {
+	case "text":
+		failed = stream(pool, repro.VariantJobs(arts, opts, variants, nil))
+	case "csv":
+		failed = stream(pool, repro.VariantJobs(arts, opts, variants, render.CSV{}))
+	case "json":
+		grouped, aggErr := repro.ComputeAllVariants(pool, arts, opts, variants)
+		for _, results := range grouped {
 			for _, r := range results {
 				if r != nil {
 					rep.Artifacts = append(rep.Artifacts, r)
 				}
 			}
-			if aggErr != nil {
-				printFailures(aggErr)
-				failed = true
-			}
+		}
+		if aggErr != nil {
+			printFailures(aggErr)
+			failed = true
 		}
 	}
 	if *format == "json" {

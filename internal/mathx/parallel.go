@@ -7,9 +7,14 @@ import (
 
 // parCutoff is the minimum element count before a vector kernel (SpMV row
 // blocks, CG axpy sweeps) is split across goroutines. Below it the
-// fork/join overhead (~µs) exceeds the sweep itself; 16384 unknowns is a
-// 127×127 mesh, the first size where splitting measurably wins. Tuned on
-// the BenchmarkMeshSolve kernels.
+// fork/join overhead exceeds the sweep itself. BenchmarkParCutoff
+// (parallel_bench_test.go) measures the crossover directly on the axpy
+// sweep: fork/join costs ~4–5 µs per invocation, a fused axpy pair streams
+// ~1 element/ns serially, so splitting breaks even in the 8k–16k range and
+// wins cleanly from 16k up (16384 unknowns ≈ a 127×127 mesh, the first
+// production size that splits). Row-sweep kernels gate on the same
+// constant via parallelOK(n²) so the whole solver flips to parallel at one
+// grid size instead of kernel by kernel.
 const parCutoff = 1 << 14
 
 // parallelOK reports whether an n-element kernel is worth splitting. Hot
@@ -28,8 +33,23 @@ func parallelOK(n int) bool {
 // bit-identical to serial (reductions — dot products — deliberately stay
 // serial for that reason).
 func parFor(n int, f func(lo, hi int)) {
+	if runtime.GOMAXPROCS(0) <= 1 || n < parCutoff {
+		f(0, n)
+		return
+	}
+	parForBlocks(n, f)
+}
+
+// parForBlocks splits [0, n) into one contiguous block per P with no size
+// gate — serial only when the process has a single P. Callers that iterate
+// over UNITS coarser than elements (grid rows in the V-cycle stencils,
+// where n is the row count but each unit touches n elements) use it behind
+// their own parallelOK(total-work) check; parFor's element-count gate would
+// wrongly serialize them. Block boundaries depend only on n and GOMAXPROCS,
+// preserving the bit-identity contract.
+func parForBlocks(n int, f func(lo, hi int)) {
 	p := runtime.GOMAXPROCS(0)
-	if p <= 1 || n < parCutoff {
+	if p <= 1 {
 		f(0, n)
 		return
 	}

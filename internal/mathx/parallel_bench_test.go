@@ -1,0 +1,47 @@
+package mathx
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkParCutoff pins the measurement behind parCutoff: a bare axpy
+// sweep (the cheapest gated kernel — if splitting pays here it pays
+// everywhere) run serially vs through parForBlocks, at sizes bracketing
+// the cutoff. Run with `-cpu 1,4`: at GOMAXPROCS=1 parForBlocks
+// degenerates to the serial loop (the rows must coincide), and at
+// GOMAXPROCS>1 the gap between blocks and serial is the fork-join price a
+// split must buy back. On the single-vCPU reference container that price
+// measures ~2 µs per fork-join at n=4096 (and GOMAXPROCS>1 never wins —
+// there is no second core to buy with it); parCutoff = 1<<14 is the
+// smallest size where a genuine 4-way split's saving (~3/4 of the ~10 µs
+// serial sweep) clearly exceeds that fork cost with margin for scheduling
+// jitter, so on real multicore hosts the gate opens exactly where
+// splitting starts to pay and a 1-vCPU host only ever sees the serial
+// path for sub-cutoff work.
+func BenchmarkParCutoff(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 17} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%17) * 0.25
+			y[i] = 1
+		}
+		b.Run(fmt.Sprintf("n=%d/serial", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					y[j] += 1e-9 * x[j]
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/blocks", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parForBlocks(n, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						y[j] += 1e-9 * x[j]
+					}
+				})
+			}
+		})
+	}
+}

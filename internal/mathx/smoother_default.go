@@ -1,0 +1,9 @@
+//go:build !mg_rbgs
+
+package mathx
+
+// DefaultSmoother is the V-cycle smoother NewMeshMG builds with. The
+// Chebyshev polynomial smoother wins the DESIGN.md §5 ablation (best
+// damping per FLOP, SpMV + axpy only); build with `-tags mg_rbgs` to make
+// red-black Gauss-Seidel the default instead.
+const DefaultSmoother = SmootherChebyshev

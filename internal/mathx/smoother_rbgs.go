@@ -1,0 +1,10 @@
+//go:build mg_rbgs
+
+package mathx
+
+// DefaultSmoother under the mg_rbgs build tag: red-black Gauss-Seidel
+// replaces the Chebyshev polynomial as the V-cycle smoother NewMeshMG
+// builds with. Both satisfy the same determinism and symmetry contracts;
+// the tag exists so the alternative stays compiled, tested, and one build
+// flag away rather than rotting behind a runtime option nobody exercises.
+const DefaultSmoother = SmootherRBGS

@@ -71,6 +71,12 @@ func NewMesh(s GridSpec, railWidthM, railPitchM float64, n int) (*Mesh, error) {
 // the net. The same drop occurs on the ground net, so the supply-loop drop
 // is twice the returned value.
 func (m *Mesh) Solve() (maxDropV float64, err error) {
+	// A sweep may have batch-solved this exact system already
+	// (PrimeSolves); the parked drop is bit-identical to what the solve
+	// below would produce, and its telemetry was recorded at prime time.
+	if d, ok := consumePrimed(m); ok {
+		return d, nil
+	}
 	// The sparsity pattern depends only on the grid dimension; the cached
 	// assembly is refilled for this mesh's conductance and wrapped as a
 	// frozen CSR without copying (assemblyFor documents the bit-identity
@@ -117,11 +123,7 @@ func (m *Mesh) Solve() (maxDropV float64, err error) {
 // sideways — through the top-level sheet, so ratios well above 1 quantify
 // how much the analytic model leans on a healthy lower grid.
 func PessimisticRatio(s GridSpec, n int) (ratio float64, err error) {
-	sz, err := s.SizeRails()
-	if err != nil {
-		return 0, err
-	}
-	mesh, err := NewMesh(s, sz.RailWidthM, s.BumpPitchM, n)
+	mesh, err := PessimisticMesh(s, n)
 	if err != nil {
 		return 0, err
 	}
@@ -130,6 +132,19 @@ func PessimisticRatio(s GridSpec, n int) (ratio float64, err error) {
 		return 0, err
 	}
 	return 2 * drop / s.topBudgetV(), nil
+}
+
+// PessimisticMesh builds (without solving) the mesh PessimisticRatio
+// solves: the sized grid's top-level sheet carrying all current. Split out
+// so sweep batching can collect the meshes of many scenario variants and
+// solve them together before each variant's PessimisticRatio consumes its
+// primed result.
+func PessimisticMesh(s GridSpec, n int) (*Mesh, error) {
+	sz, err := s.SizeRails()
+	if err != nil {
+		return nil, err
+	}
+	return NewMesh(s, sz.RailWidthM, s.BumpPitchM, n)
 }
 
 // Ladder is the 1-D discretization of one rail span between two bumps: n

@@ -10,22 +10,40 @@ import "sync/atomic"
 // go wrong. Every Mesh.Solve accounts its count here; the daemon exports
 // both counters on /metrics so that creep is visible on a dashboard, not
 // just in benchmarks.
-var meshSolves, meshSolveIters atomic.Uint64
+var meshSolves, meshSolveIters, meshBatchedSolves atomic.Uint64
 
 // SolveStats is a point-in-time snapshot of the mesh-solve counters.
 type SolveStats struct {
-	// Solves is the number of completed Mesh.Solve calls; Iterations is
-	// the total MG-PCG iterations they spent. Iterations/Solves is the
-	// health number: near-constant per mesh size by construction.
+	// Solves is the number of completed mesh solves (solo Mesh.Solve calls
+	// plus every variant a batch solved); Iterations is the total MG-PCG
+	// iterations they spent. Iterations/Solves is the health number:
+	// near-constant per mesh size by construction.
 	Solves, Iterations uint64
+	// Batched counts the subset of Solves that ran through the lockstep
+	// multi-RHS kernel (SolveMeshBatch). Sweeps should push it toward
+	// Solves; a sweep-heavy deployment with Batched ≈ 0 means the priming
+	// wiring regressed and every variant pays a full pattern traversal.
+	Batched uint64
 }
 
 // ReadSolveStats snapshots the counters for /metrics.
 func ReadSolveStats() SolveStats {
-	return SolveStats{Solves: meshSolves.Load(), Iterations: meshSolveIters.Load()}
+	return SolveStats{
+		Solves:     meshSolves.Load(),
+		Iterations: meshSolveIters.Load(),
+		Batched:    meshBatchedSolves.Load(),
+	}
 }
 
 func recordSolve(iters int) {
 	meshSolves.Add(1)
 	meshSolveIters.Add(uint64(iters))
+}
+
+// recordBatchedSolve accounts one variant of a lockstep batch: a mesh
+// solve like any other (the Solves/Iterations contract is per system
+// solved, not per kernel invocation) plus the batched-path counter.
+func recordBatchedSolve(iters int) {
+	recordSolve(iters)
+	meshBatchedSolves.Add(1)
 }
