@@ -26,12 +26,16 @@
 //	nanorepro -plot           # crude terminal plots for the figures
 //	nanorepro -v              # append each claim's paper checks
 //	nanorepro -scenario scenarios/ext65.json   # compute under a roadmap scenario
+//	nanorepro -trace traces/virus.json         # simulate a workload trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
@@ -40,6 +44,7 @@ import (
 	"nanometer/internal/result"
 	"nanometer/internal/runner"
 	"nanometer/internal/scenario"
+	"nanometer/internal/trace"
 )
 
 var (
@@ -52,6 +57,7 @@ var (
 	jobs    = flag.Int("jobs", runtime.NumCPU(), "max artifacts computed concurrently (output is identical for any value)")
 	meshN   = flag.Int("mesh-n", 0, "power-grid validation mesh nodes per side for c8 (0 = default 41; larger grids refine the 2-D bound)")
 	scnPath = flag.String("scenario", "", "roadmap scenario JSON file (see scenarios/); a sweep runs once per variant")
+	trcPath = flag.String("trace", "", "workload trace JSON file (see traces/); simulates it and exits non-zero on failed assertions")
 )
 
 func main() {
@@ -78,6 +84,13 @@ func main() {
 	case "text", "csv", "json":
 	default:
 		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
+	}
+	if *trcPath != "" {
+		if *only != "" || *scnPath != "" {
+			fatal(fmt.Errorf("-trace is its own mode; it does not combine with -only or -scenario"))
+		}
+		runTrace(*trcPath)
+		return
 	}
 	// The nil scenario (no -scenario flag) is the base roadmap and the
 	// byte-identity path; a scenario with a sweep runs once per variant, in
@@ -132,6 +145,45 @@ func main() {
 		}
 	}
 	if failed {
+		os.Exit(1)
+	}
+}
+
+// runTrace is the -trace mode: simulate one workload-trace file (the same
+// document POST /api/v1/jobs accepts) and print its findings in the
+// selected format. Ctrl-C cancels the simulation mid-trace; a trace whose
+// assertions fail exits non-zero after printing each failed check.
+func runTrace(path string) {
+	tr, err := trace.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := tr.Run(ctx, nil)
+	if err != nil {
+		fatal(err)
+	}
+	var enc interface {
+		Encode(io.Writer, *result.Result) error
+	}
+	switch *format {
+	case "json":
+		enc = render.JSON{Indent: "  "}
+	case "csv":
+		enc = render.CSV{}
+	default:
+		enc = render.Text{CSVDir: *csvDir, Plot: *plot, Verbose: *verbose}
+	}
+	if err := enc.Encode(os.Stdout, res); err != nil {
+		fatal(err)
+	}
+	if failed := trace.FailedChecks(res); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "nanorepro: trace %s: %d assertion(s) failed:\n", tr.Name, len(failed))
+		for _, f := range failed {
+			fmt.Fprintf(os.Stderr, "  %s = %.6g, want %.6g ±%.3g rel\n",
+				f.Key, f.Value, f.Check.Paper, f.Check.RelTol)
+		}
 		os.Exit(1)
 	}
 }

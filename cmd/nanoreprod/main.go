@@ -63,6 +63,7 @@ var (
 	timeout = flag.Duration("timeout", 30*time.Second, "per-request compute budget, admission wait included")
 	jobs    = flag.Int("jobs", runtime.NumCPU(), "workers for full-report requests")
 	drain   = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	traceWk = flag.Int("trace-workers", 0, "concurrently running trace-simulation jobs (0 = 2)")
 
 	storeDir    = flag.String("store", "", "directory for the disk-backed result store (empty = memory-only; share it between replicas to warm each other)")
 	peers       = flag.String("peers", "", "comma-separated replica member list (host:port each) for shared-compute mode; keys are rendezvous-hashed to an owner consulted before solving locally")
@@ -135,6 +136,7 @@ func runServer() error {
 		Peers:       splitList(*peers),
 		Self:        selfAddr,
 		PeerTimeout: *peerTimeout,
+		JobWorkers:  *traceWk,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -164,6 +166,9 @@ func runServer() error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
+	// Trace jobs are fire-and-forget from the HTTP side, so the drain
+	// above does not cover them: cancel whatever is still simulating.
+	s.Close()
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -162,3 +162,83 @@ func TestGovernorRunDeliversWork(t *testing.T) {
 		t.Fatalf("governor power %g must beat top-pinned %g", meanPower, topPower)
 	}
 }
+
+// TestGovernorRunConservesWork is the work-conservation property: over any
+// demand trace, delivered work plus leftover backlog equals total demand
+// to 1e-12 (relative), work never exceeds demand, and backlog never goes
+// negative. Shapes cover idle, steady, bursty, overload, and adversarial
+// threshold-riding traces across several seeds and table geometries.
+func TestGovernorRunConservesWork(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(rng *rand.Rand, n int) []float64
+	}{
+		{"idle", func(_ *rand.Rand, n int) []float64 { return make([]float64, n) }},
+		{"uniform", func(rng *rand.Rand, n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = rng.Float64()
+			}
+			return d
+		}},
+		{"bursty", func(rng *rand.Rand, n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				if rng.Float64() < 0.15 {
+					d[i] = 0.9 + 0.1*rng.Float64()
+				} else {
+					d[i] = 0.1 * rng.Float64()
+				}
+			}
+			return d
+		}},
+		{"overload", func(rng *rand.Rand, n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = 1 + 2*rng.Float64() // more than full speed can ever deliver
+			}
+			return d
+		}},
+		{"threshold-riding", func(rng *rand.Rand, n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				// Hover around the governor's up/down thresholds to force
+				// constant point changes.
+				d[i] = 0.6 + 0.3*rng.Float64()
+			}
+			return d
+		}},
+	}
+	for _, points := range []int{2, 6, 12} {
+		tb, err := NewTable(100, points, 0.55, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shapes {
+			for seed := int64(1); seed <= 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				demand := sh.gen(rng, 4096)
+				var total float64
+				for _, d := range demand {
+					total += d
+				}
+				g := NewGovernor(tb)
+				work, meanPower, backlog := g.Run(demand)
+				tol := 1e-12 * math.Max(1, total)
+				if math.Abs(work+backlog-total) > tol {
+					t.Fatalf("%s/points=%d/seed=%d: work %g + backlog %g != demand %g (err %g > %g)",
+						sh.name, points, seed, work, backlog, total, math.Abs(work+backlog-total), tol)
+				}
+				if backlog < 0 {
+					t.Fatalf("%s/points=%d/seed=%d: negative backlog %g", sh.name, points, seed, backlog)
+				}
+				if work > total+tol {
+					t.Fatalf("%s/points=%d/seed=%d: delivered %g exceeds demand %g", sh.name, points, seed, work, total)
+				}
+				if meanPower < 0 || meanPower > 1+1e-12 {
+					t.Fatalf("%s/points=%d/seed=%d: mean relative power %g outside [0, 1]", sh.name, points, seed, meanPower)
+				}
+			}
+		}
+	}
+}

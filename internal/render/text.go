@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"nanometer/internal/result"
 )
@@ -94,7 +95,12 @@ func (t Text) encodeFigure(w io.Writer, f *result.Figure) error {
 func (t Text) encodeClaim(w io.Writer, id string, c *result.Claim) error {
 	tpl, ok := claimText[id]
 	if !ok {
-		return fmt.Errorf("render: no text template for claim %s", id)
+		// Trace-simulation claims are user-authored, one per trace name,
+		// so they share one generic template instead of per-ID prose.
+		if !strings.HasPrefix(id, "trace:") {
+			return fmt.Errorf("render: no text template for claim %s", id)
+		}
+		tpl = textTrace
 	}
 	v := &claimView{id: id, c: c}
 	tpl(w, v)
@@ -167,6 +173,16 @@ var claimText = map[string]func(io.Writer, *claimView){
 	"c10": textC10,
 	"c12": textC12,
 	"c13": textC13,
+}
+
+func textTrace(w io.Writer, v *claimView) {
+	fmt.Fprintf(w, "Trace %s: %d intervals × %.3g s at the %d nm node (DTM: %s)\n",
+		strings.TrimPrefix(v.id, "trace:"), v.i("intervals"), v.n("dt_seconds"), v.i("node_nm"), v.s("controller"))
+	fmt.Fprintf(w, "  junction peak %.1f °C; power peak %.1f W, mean %.1f W (theoretical max %.0f W)\n",
+		v.n("peak_temp_c"), v.n("peak_power_w"), v.n("mean_power_w"), v.n("theoretical_max_w"))
+	fmt.Fprintf(w, "  throttled %.1f%% of intervals, throughput %.1f%%, backlog %.3g intervals of work\n",
+		v.n("throttled_fraction")*100, v.n("throughput")*100, v.n("backlog_intervals"))
+	fmt.Fprintf(w, "  DVFS vs full-voltage gating energy: %.2f×\n", v.n("dvfs_energy_ratio"))
 }
 
 func textC1(w io.Writer, v *claimView) {

@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -264,6 +265,15 @@ func EncodeJobs(arts []Artifact, opts Options, enc Encoder) []runner.Job {
 // slot; the per-artifact failures are aggregated in the returned error and
 // the healthy results are still usable.
 func ComputeAll(pool runner.Pool, arts []Artifact, opts Options) ([]*result.Result, error) {
+	return ComputeAllCtx(context.Background(), pool, arts, opts)
+}
+
+// ComputeAllCtx is ComputeAll with cancellation: artifacts that have not
+// started when ctx is canceled are skipped (their slots stay nil and the
+// aggregate error carries ctx's error per skipped artifact). In-flight
+// computes finish normally so the cache is never poisoned by a partial
+// result.
+func ComputeAllCtx(ctx context.Context, pool runner.Pool, arts []Artifact, opts Options) ([]*result.Result, error) {
 	out := make([]*result.Result, len(arts))
 	jobs := make([]runner.Job, len(arts))
 	for i, a := range arts {
@@ -274,5 +284,6 @@ func ComputeAll(pool runner.Pool, arts []Artifact, opts Options) ([]*result.Resu
 			return err
 		}}
 	}
-	return out, runner.Errs(pool.Run(jobs))
+	results, _ := pool.RunToContext(ctx, nil, jobs)
+	return out, runner.Errs(results)
 }

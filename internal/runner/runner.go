@@ -8,6 +8,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -60,6 +61,15 @@ func (p Pool) Run(jobs []Job) []Result {
 // The returned error reports sink write failures only; per-job errors are in
 // the results (aggregate them with Errs).
 func (p Pool) RunTo(sink io.Writer, jobs []Job) ([]Result, error) {
+	return p.RunToContext(context.Background(), sink, jobs)
+}
+
+// RunToContext is RunTo with cancellation: jobs that have not started when
+// ctx is canceled are skipped and record ctx's error instead of running.
+// Jobs already executing run to completion (they hold gate/pool resources
+// that must wind down normally), so a canceled run still returns one Result
+// per job in submission order.
+func (p Pool) RunToContext(ctx context.Context, sink io.Writer, jobs []Job) ([]Result, error) {
 	n := len(jobs)
 	results := make([]Result, n)
 	done := make([]chan struct{}, n)
@@ -74,8 +84,20 @@ func (p Pool) RunTo(sink io.Writer, jobs []Job) ([]Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer close(done[i])
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i] = Result{ID: jobs[i].ID, Err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
+			// A cancel that lands between acquiring the slot and starting
+			// the job also skips it: the slot was free, but the work is
+			// unwanted.
+			if err := ctx.Err(); err != nil {
+				results[i] = Result{ID: jobs[i].ID, Err: err}
+				return
+			}
 			var buf bytes.Buffer
 			err := runJob(jobs[i], &buf)
 			results[i] = Result{ID: jobs[i].ID, Output: buf.Bytes(), Err: err}

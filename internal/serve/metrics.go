@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"nanometer/internal/jobs"
 	"nanometer/internal/obs"
 	"nanometer/internal/powergrid"
 	"nanometer/internal/repro"
@@ -27,9 +28,13 @@ type metrics struct {
 	peerFallthrough    *obs.Counter    // nanoreprod_peer_fallthrough_total
 	peerServes         *obs.Counter    // nanoreprod_peer_result_requests_total
 	scenarioComputes   *obs.CounterVec // nanoreprod_scenario_computes_total{scenario}
+
+	jobsSubmitted *obs.Counter    // nanoreprod_jobs_submitted_total
+	jobsFinished  *obs.CounterVec // nanoreprod_jobs_finished_total{state}
+	jobsCached    *obs.Counter    // nanoreprod_jobs_cached_total
 }
 
-func newMetrics(g *gate, st *store.Store) *metrics {
+func newMetrics(g *gate, st *store.Store, q *jobs.Queue) *metrics {
 	reg := &obs.Registry{}
 	m := &metrics{
 		reg:      reg,
@@ -57,7 +62,21 @@ func newMetrics(g *gate, st *store.Store) *metrics {
 			"Internal result requests served to sibling replicas."),
 		scenarioComputes: reg.CounterVec("nanoreprod_scenario_computes_total",
 			"Scenario-variant computes by base scenario name (sweep suffixes folded into the parent; names past the cardinality cap land in \"other\").", "scenario"),
+		jobsSubmitted: reg.Counter("nanoreprod_jobs_submitted_total",
+			"Trace-simulation jobs accepted by POST /api/v1/jobs (store-answered submits included)."),
+		jobsFinished: reg.CounterVec("nanoreprod_jobs_finished_total",
+			"Trace-simulation jobs reaching a terminal state, by state (done, failed, canceled).", "state"),
+		jobsCached: reg.Counter("nanoreprod_jobs_cached_total",
+			"Trace-simulation jobs answered from the result store without simulating."),
 	}
+	// Job-queue occupancy: active covers queued+running (the backpressure
+	// bound), retained counts every job the API can still address.
+	reg.GaugeFunc("nanoreprod_jobs_active",
+		"Trace-simulation jobs currently queued or running.",
+		func() float64 { a, _ := q.Stats(); return float64(a) })
+	reg.GaugeFunc("nanoreprod_jobs_retained",
+		"Trace-simulation jobs retained for status/result queries.",
+		func() float64 { _, r := q.Stats(); return float64(r) })
 	// The compute cache instruments live in internal/repro (they are
 	// bumped inside ComputeCached itself); exported here as scrape-time
 	// reads so the cache stays ignorant of HTTP.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,23 @@ import (
 	"nanometer/internal/runner"
 	"nanometer/internal/scenario"
 )
+
+// readBody reads a request body through MaxBytesReader with limit maxBytes.
+// Use bodyErrStatus to map a failure to its status code.
+func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+}
+
+// bodyErrStatus maps a body-read failure to its HTTP status: 413 only for
+// the MaxBytesReader limit; every other failure (client hung up mid-body,
+// malformed chunking) is the client's bad request, not an oversize one.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
 
 // maxScenarioLabels bounds the cardinality of the scenario metrics label.
 // Scenario names come from untrusted POST bodies, so without a cap a client
@@ -97,9 +115,9 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		}
 		meshN = n
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, scenario.MaxFileBytes))
+	body, err := readBody(w, r, scenario.MaxFileBytes)
 	if err != nil {
-		apiError(w, http.StatusRequestEntityTooLarge, "reading scenario body: %v", err)
+		apiError(w, bodyErrStatus(err), "reading scenario body: %v", err)
 		return
 	}
 	sc, err := scenario.Parse(body)
@@ -148,7 +166,11 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 			defer release()
 			s.met.scenarioComputes.With(s.scenarioLabel(v.Name)).Inc()
 			opts := repro.Options{MeshN: meshN, Scenario: v}
-			results, cerr := repro.ComputeAll(runner.Pool{Workers: s.jobs}, arts, opts)
+			// ctx carries both the request deadline and the client
+			// disconnect: a hung-up stream stops fanning new artifact
+			// computes onto the pool instead of running the grid to
+			// completion while holding gate weight.
+			results, cerr := repro.ComputeAllCtx(ctx, runner.Pool{Workers: s.jobs}, arts, opts)
 			ch <- outcome{results, cerr}
 		}(v)
 	}

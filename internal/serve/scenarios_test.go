@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -153,6 +155,38 @@ func TestScenariosValidation(t *testing.T) {
 	// The method gate holds: GET on the collection is not allowed.
 	if rec := get(t, srv.Handler(), "/api/v1/scenarios", nil); rec.Code != 405 {
 		t.Errorf("GET /api/v1/scenarios = %d, want 405", rec.Code)
+	}
+}
+
+// brokenBody fails mid-read with an ordinary (non-byte-limit) error, the
+// shape a client hangup or chunked-encoding fault takes.
+type brokenBody struct{}
+
+func (brokenBody) Read([]byte) (int, error) { return 0, errors.New("peer reset the stream") }
+
+// TestScenariosBodyErrorMapping pins the bodyErrStatus split on both
+// POST endpoints: only *http.MaxBytesError maps to 413; every other
+// body-read failure is the client's 400, never a 413.
+func TestScenariosBodyErrorMapping(t *testing.T) {
+	srv := New(Config{Artifacts: []repro.Artifact{}, JobWorkers: 1})
+	defer srv.Close()
+	oversized := `{"name":"x","notes":["` + strings.Repeat("a", 1<<20) + `"]}`
+	for _, tc := range []struct {
+		name, target string
+		body         io.Reader
+		want         int
+	}{
+		{"scenarios oversized", "/api/v1/scenarios", strings.NewReader(oversized), 413},
+		{"scenarios broken read", "/api/v1/scenarios", brokenBody{}, 400},
+		{"jobs oversized", "/api/v1/jobs", strings.NewReader(oversized), 413},
+		{"jobs broken read", "/api/v1/jobs", brokenBody{}, 400},
+	} {
+		req := httptest.NewRequest("POST", tc.target, tc.body)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: POST = %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
 	}
 }
 

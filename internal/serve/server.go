@@ -38,11 +38,13 @@ import (
 	"time"
 
 	"nanometer/internal/experiments"
+	jobsvc "nanometer/internal/jobs"
 	"nanometer/internal/render"
 	"nanometer/internal/repro"
 	"nanometer/internal/result"
 	"nanometer/internal/runner"
 	"nanometer/internal/store"
+	"nanometer/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value serves the full registry
@@ -75,6 +77,9 @@ type Config struct {
 	Self string
 	// PeerTimeout bounds one peer fetch; ≤ 0 selects DefaultPeerTimeout.
 	PeerTimeout time.Duration
+	// JobWorkers bounds concurrently running trace-simulation jobs; ≤ 0
+	// selects 2. Queue depth and retention use the jobs package defaults.
+	JobWorkers int
 }
 
 // Server routes HTTP requests onto the artifact registry. Create with New,
@@ -86,6 +91,7 @@ type Server struct {
 	flights *flightGroup
 	peers   *peerSet
 	store   *store.Store
+	jobq    *jobsvc.Queue
 	timeout time.Duration
 	jobs    int
 	met     *metrics
@@ -141,17 +147,47 @@ func New(cfg Config) *Server {
 	if len(cfg.Peers) > 0 {
 		s.peers = newPeerSet(cfg.Self, cfg.Peers, cfg.PeerTimeout)
 	}
-	s.met = newMetrics(s.gate, s.store)
+	// The job queue shares the admission gate with one-shot requests: a
+	// running simulation holds weight like a solve does, and a canceled
+	// job hands its units back as soon as the simulator observes the
+	// cancel. The disk store (when configured) doubles as the job result
+	// store, so a resubmitted trace is a store hit across restarts too.
+	jcfg := jobsvc.Config{Workers: cfg.JobWorkers, Admit: func(ctx context.Context, tr *trace.Trace) (func(), error) {
+		return s.gate.Acquire(ctx, jobWeight(tr))
+	}}
+	if cfg.Store != nil {
+		jcfg.Store = cfg.Store
+	}
+	s.jobq = jobsvc.New(jcfg)
+	s.met = newMetrics(s.gate, s.store, s.jobq)
+	s.jobq.OnFinish = func(state jobsvc.State, cached bool) {
+		s.met.jobsFinished.With(string(state)).Inc()
+		if cached {
+			s.met.jobsCached.Inc()
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
+
+// Close cancels every trace job and waits for the workers to drain. Call
+// after the HTTP server has shut down.
+func (s *Server) Close() { s.jobq.Close() }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/artifacts", s.handleIndex)
 	s.mux.HandleFunc("GET /api/v1/artifacts/{id}", s.handleArtifact)
 	s.mux.HandleFunc("GET /api/v1/report", s.handleReport)
 	s.mux.HandleFunc("POST /api/v1/scenarios", s.handleScenarios)
+	// The trace-simulation job service: long computes live behind a job
+	// handle instead of a hanging request.
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobIndex)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
 	// The replica-to-replica result exchange: bare typed-result JSON, no
 	// encoding options, and — the loop-prevention invariant — served
 	// strictly from local compute (never re-forwarded to another peer).

@@ -284,6 +284,53 @@ func TestWorkloadGenerator(t *testing.T) {
 	}
 }
 
+// TestWorkloadBurstStatistics pins the generator to its contract on a
+// 10⁶-interval trace: the measured burst duty cycle lands within ±10 %
+// relative of BurstFraction, and burst lengths are geometric with mean
+// BurstMeanLength. Burst and base levels are disjoint under the default
+// noise amplitude (0.95·(1−0.08) = 0.874 vs 0.70·(1+0.08) = 0.756), so a
+// midpoint threshold classifies every interval exactly.
+func TestWorkloadBurstStatistics(t *testing.T) {
+	const n = 1_000_000
+	for _, burstFraction := range []float64{0.15, 0.30} {
+		p := DefaultWorkload(100)
+		p.BurstFraction = burstFraction
+		trace := p.Generate(n)
+		threshold := 100 * (p.BurstLevel*(1-p.NoiseFraction) + p.TypicalFraction*(1+p.NoiseFraction)) / 2
+		inBurst := 0
+		bursts := 0
+		prev := false
+		for _, v := range trace {
+			b := v > threshold
+			if b {
+				inBurst++
+				if !prev {
+					bursts++
+				}
+			}
+			prev = b
+		}
+		duty := float64(inBurst) / n
+		if rel := math.Abs(duty-burstFraction) / burstFraction; rel > 0.10 {
+			t.Errorf("BurstFraction=%g: measured duty %.4f off by %.1f%%, want within ±10%%",
+				burstFraction, duty, rel*100)
+		}
+		meanLen := float64(inBurst) / float64(bursts)
+		if meanLen < BurstMeanLength*0.92 || meanLen > BurstMeanLength*1.08 {
+			t.Errorf("BurstFraction=%g: mean burst length %.2f, want ≈%g (geometric)",
+				burstFraction, meanLen, BurstMeanLength)
+		}
+	}
+	// Deterministic per seed at the statistical length too.
+	p := DefaultWorkload(100)
+	a, b := p.Generate(4096), p.Generate(4096)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at interval %d for a fixed seed", i)
+		}
+	}
+}
+
 func TestPowerVirus(t *testing.T) {
 	v := PowerVirus(174, 10)
 	for _, x := range v {

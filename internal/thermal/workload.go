@@ -11,8 +11,8 @@ type WorkloadParams struct {
 	// the theoretical maximum (the paper's ≈75 % for "power-hungry
 	// applications"; ordinary code is lower still).
 	TypicalFraction float64
-	// BurstFraction is the fraction of intervals spent in bursts at
-	// BurstLevel×TheoreticalMaxW.
+	// BurstFraction is the stationary fraction of intervals spent in
+	// bursts at BurstLevel×TheoreticalMaxW.
 	BurstFraction float64
 	BurstLevel    float64
 	// NoiseFraction is the relative amplitude of interval-to-interval
@@ -35,41 +35,79 @@ func DefaultWorkload(theoreticalMaxW float64) WorkloadParams {
 	}
 }
 
-// Generate produces a trace of n control intervals.
+// BurstMeanLength is the mean burst duration in control intervals. Burst
+// lengths are geometric on {1, 2, ...} with this mean.
+const BurstMeanLength = 20.0
+
+// Generate produces a trace of n control intervals. Bursting is a two-state
+// Markov chain: a burst continues with probability 1−1/BurstMeanLength (so
+// lengths are geometric with mean BurstMeanLength), and the entry
+// probability from the non-burst state is set so the chain's stationary
+// burst occupancy equals BurstFraction exactly. Exactly two RNG draws are
+// consumed per interval (state, then noise), so the trace is deterministic
+// per Seed and a prefix of a longer trace from the same seed.
 func (p WorkloadParams) Generate(n int) []float64 {
-	rng := rand.New(rand.NewSource(p.Seed))
+	s := p.Stream()
 	out := make([]float64, n)
-	base := p.TypicalFraction * p.TheoreticalMaxW
-	inBurst := false
-	burstLeft := 0
 	for i := range out {
-		if burstLeft == 0 {
-			// Burst lengths geometric with mean 20 intervals; spacing set
-			// so the duty cycle matches BurstFraction.
-			if inBurst {
-				inBurst = false
-			}
-			if rng.Float64() < p.BurstFraction/20 {
-				inBurst = true
-				burstLeft = 1 + rng.Intn(39)
-			}
-		} else {
-			burstLeft--
-		}
-		level := base
-		if inBurst {
-			level = p.BurstLevel * p.TheoreticalMaxW
-		}
-		level *= 1 + p.NoiseFraction*(2*rng.Float64()-1)
-		if level > p.TheoreticalMaxW {
-			level = p.TheoreticalMaxW
-		}
-		if level < 0 {
-			level = 0
-		}
-		out[i] = level
+		out[i] = s.Next()
 	}
 	return out
+}
+
+// Stream generates the same trace as Generate one interval at a time, so
+// arbitrarily long workloads never materialize as a slice. Generate(n)
+// equals the first n values of a fresh Stream (prefix property).
+type Stream struct {
+	p           WorkloadParams
+	rng         *rand.Rand
+	enter, exit float64
+	base        float64
+	inBurst     bool
+}
+
+// Stream returns a fresh generator positioned at interval 0.
+func (p WorkloadParams) Stream() *Stream {
+	s := &Stream{
+		p:    p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		base: p.TypicalFraction * p.TheoreticalMaxW,
+	}
+	// Transition probabilities: exit = P(burst ends after this interval),
+	// enter = P(non-burst interval starts a burst), chosen so the
+	// stationary occupancy enter/(enter+exit) equals BurstFraction.
+	s.exit = 1 / BurstMeanLength
+	switch {
+	case p.BurstFraction >= 1:
+		s.enter, s.exit = 1, 0
+	case p.BurstFraction > 0:
+		s.enter = s.exit * p.BurstFraction / (1 - p.BurstFraction)
+	}
+	return s
+}
+
+// Next returns the next interval's power level.
+func (s *Stream) Next() float64 {
+	// One state draw per interval: a burst that ends cannot re-arm in
+	// the same interval, and an interval is in-burst from its first
+	// tick, so a length-L burst occupies exactly L intervals.
+	if r := s.rng.Float64(); s.inBurst {
+		s.inBurst = r >= s.exit
+	} else {
+		s.inBurst = r < s.enter
+	}
+	level := s.base
+	if s.inBurst {
+		level = s.p.BurstLevel * s.p.TheoreticalMaxW
+	}
+	level *= 1 + s.p.NoiseFraction*(2*s.rng.Float64()-1)
+	if level > s.p.TheoreticalMaxW {
+		level = s.p.TheoreticalMaxW
+	}
+	if level < 0 {
+		level = 0
+	}
+	return level
 }
 
 // PowerVirus returns a flat trace at the theoretical worst case — the
