@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint verify bench bench-all bench-mesh bench-cutoff bench-report serve bench-serve bench-replicas
+.PHONY: all build test race vet lint lint-cross verify bench bench-all bench-mesh bench-cutoff bench-report serve bench-serve bench-replicas
 
 all: verify
 
@@ -56,10 +56,24 @@ vet:
 # The project-specific static-analysis gate (internal/analyzers via
 # cmd/nanolint): determinism of output-producing packages (detrange),
 # the solver-error contract (solvecheck), compute-cache key coverage
-# (cachekey), and pooled-workspace discipline (poolescape). Exit 1 on any
-# finding, with the analyzer name in every line.
+# (cachekey), pooled-workspace discipline (poolescape), and the
+# concurrency contracts of the serving era — lock-guarded fields
+# (lockguard), context threading past blocking APIs (ctxflow), provable
+# goroutine exits (goexit), strict bounded JSON decoding at API
+# boundaries (strictjson), and bounded metric-label sets (metriclabel).
+# Exit 1 on any finding, with the analyzer name in every line.
 lint:
 	$(GO) run ./cmd/nanolint ./...
+
+# Cross-configuration lint: the loader resolves files through `go list`,
+# which honors GOOS/GOFLAGS, so files hidden from the default
+# configuration by build tags (the mg_rbgs red-black smoother) or by a
+# GOOS constraint still pass through every analyzer. The nanolint binary
+# itself runs on the host; only the package loading is cross-configured.
+lint-cross:
+	$(GO) build -o $(CURDIR)/bin/nanolint ./cmd/nanolint
+	GOOS=darwin $(CURDIR)/bin/nanolint ./...
+	GOFLAGS=-tags=mg_rbgs $(CURDIR)/bin/nanolint ./...
 
 race:
 	$(GO) test -race ./...

@@ -163,6 +163,9 @@ func loadgenBases(n int) (bases []string, shutdown func(), err error) {
 			return nil, nil, lerr
 		}
 		srv := &http.Server{Handler: s.Handler()}
+		// Serve returns once shutdown() closes the server; the goroutine
+		// cannot outlive the loadgen run.
+		//lint:allow goexit srv.Serve exits when shutdown() closes srv
 		go srv.Serve(ln)
 		srvs = append(srvs, srv)
 		bases = append(bases, "http://"+ln.Addr().String())
@@ -483,6 +486,9 @@ func startReplicas(n int, st *store.Store) (bases []string, shutdown func(), err
 			return nil, nil, lerr
 		}
 		srv := &http.Server{Handler: s.Handler()}
+		// Serve returns once shutdown() closes the server; the goroutine
+		// cannot outlive the loadgen run.
+		//lint:allow goexit srv.Serve exits when shutdown() closes srv
 		go srv.Serve(ln)
 		srvs = append(srvs, srv)
 		bases = append(bases, "http://"+ln.Addr().String())

@@ -36,7 +36,10 @@ type Analyzer struct {
 
 // All returns the full nanolint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrange, Solvecheck, Cachekey, Poolescape}
+	return []*Analyzer{
+		Detrange, Solvecheck, Cachekey, Poolescape,
+		Lockguard, Ctxflow, Goexit, Strictjson, Metriclabel,
+	}
 }
 
 // AppliesTo reports whether the analyzer should run on the package with
@@ -94,14 +97,44 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,]+)`)
 
+// parseAllowDirective parses a `//lint:allow name1,name2 reason` comment
+// and returns the suppressed analyzer names. ok is false when the comment
+// is not an allow directive (or names nothing). The function is total over
+// arbitrary comment bytes — FuzzAllowDirective pins that, plus the
+// round-trip property that re-rendering the names parses back unchanged.
+func parseAllowDirective(text string) (names []string, ok bool) {
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, false
+	}
+	names = splitNames(m[1])
+	return names, len(names) > 0
+}
+
+// guardRe matches a whole-line `// guarded by <field>` field annotation
+// (optional trailing period). The guard must be a plain identifier naming a
+// sibling mutex field — lockguard validates the sibling exists.
+var guardRe = regexp.MustCompile(`^//\s*guarded by\s+([A-Za-z_][A-Za-z0-9_]*)\s*\.?\s*$`)
+
+// parseGuardDirective parses a `// guarded by mu` field comment, returning
+// the guard field name. Like parseAllowDirective it must never panic on
+// hostile bytes and accepted forms must round-trip (FuzzAllowDirective).
+func parseGuardDirective(text string) (guard string, ok bool) {
+	m := guardRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", false
+	}
+	return m[1], true
+}
+
 // buildAllowIndex scans every comment for lint:allow markers once per pass.
 func (p *Pass) buildAllowIndex() {
 	p.allowed = map[string]map[int][]string{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				names, ok := parseAllowDirective(c.Text)
+				if !ok {
 					continue
 				}
 				pos := p.Fset.Position(c.Slash)
@@ -110,7 +143,7 @@ func (p *Pass) buildAllowIndex() {
 					byLine = map[int][]string{}
 					p.allowed[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], splitNames(m[1])...)
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
 			}
 		}
 	}

@@ -39,7 +39,8 @@ func sharedExports(t *testing.T) map[string]string {
 	t.Helper()
 	exportsOnce.Do(func() {
 		exports, exportsErr = analyzers.LoadExports(".",
-			"./...", "sync", "sort", "slices", "strings", "fmt", "errors")
+			"./...", "sync", "sort", "slices", "strings", "fmt", "errors",
+			"context", "bytes", "io", "encoding/json", "net/http", "strconv", "time")
 	})
 	if exportsErr != nil {
 		t.Fatalf("loading export data: %v", exportsErr)

@@ -1,0 +1,248 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goexit requires every goroutine to carry a provable exit path, so the
+// serving layer cannot accrete leaked workers as it scales out. A
+// goroutine body passes if any of these holds:
+//
+//   - it contains no unbounded loop: straight-line bodies and bounded
+//     loops (three-clause counting loops, range over slice/map/int)
+//     terminate when their calls do;
+//   - it receives from a signal channel: <-ctx.Done() or any chan struct{}
+//     (the repo's done/notify convention), usually inside a select;
+//   - it ranges over a channel that the spawning function closes
+//     (producer-side close pairing);
+//   - it calls Done on a sync.WaitGroup that the spawning function Waits
+//     on — the leak would deadlock the spawner, so tests see it.
+//
+// `go f(...)` on a same-package function is checked against f's body; a
+// goroutine whose body the analyzer cannot see (cross-package callee,
+// function value) must be annotated. Suppress deliberate
+// run-to-completion goroutines with `//lint:allow goexit <reason>`.
+var Goexit = &Analyzer{
+	Name: "goexit",
+	Doc: "flags goroutines with no provable exit path (unbounded loop " +
+		"without a ctx/done receive, WaitGroup pairing, or close pairing)",
+	Run: runGoexit,
+}
+
+func runGoexit(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		// Track the function body enclosing each go statement for the
+		// same-function pairing rules.
+		var walk func(n ast.Node, encl *ast.BlockStmt)
+		walk = func(n ast.Node, encl *ast.BlockStmt) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch e := m.(type) {
+				case *ast.FuncDecl:
+					if e.Body != nil {
+						walk(e.Body, e.Body)
+					}
+					return false
+				case *ast.FuncLit:
+					walk(e.Body, e.Body)
+					return false
+				case *ast.GoStmt:
+					checkGoStmt(pass, decls, e, encl)
+					// Descend: the spawned literal may itself spawn.
+				}
+				return true
+			})
+		}
+		walk(file, nil)
+	}
+	return nil
+}
+
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt, encl *ast.BlockStmt) {
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := calledFunc(pass, g.Call); fn != nil {
+			if decl, ok := decls[fn]; ok {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(g.Pos(),
+			"goroutine body is outside this package: exit cannot be proved "+
+				"(annotate //lint:allow goexit <reason>)")
+		return
+	}
+	if !hasUnboundedLoop(pass, body) {
+		return
+	}
+	if hasSignalReceive(pass, body) {
+		return
+	}
+	if hasWaitGroupPairing(pass, body, encl) {
+		return
+	}
+	if hasClosePairing(pass, body, encl) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has an unbounded loop and no provable exit path: add a "+
+			"select on ctx.Done()/a done channel, a same-function WaitGroup "+
+			"or close() pairing, or annotate //lint:allow goexit <reason>")
+}
+
+// hasUnboundedLoop reports a `for {}`/`for cond {}` loop or a range over a
+// channel anywhere in the body. Three-clause counting loops and ranges
+// over non-channel operands are bounded.
+func hasUnboundedLoop(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if s.Cond == nil || s.Post == nil {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChannelType(pass.TypesInfo.TypeOf(s.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasSignalReceive reports a receive from a chan struct{} — the repo's
+// done/notify convention, which covers <-ctx.Done(), <-j.Done(), and plain
+// done channels — anywhere in the body.
+func hasSignalReceive(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			if t := pass.TypesInfo.TypeOf(u.X); isStructChanType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasWaitGroupPairing reports wg.Done() in the goroutine body paired with
+// wg.Wait() (same receiver spelling) in the spawning function.
+func hasWaitGroupPairing(pass *Pass, body, encl *ast.BlockStmt) bool {
+	if encl == nil {
+		return false
+	}
+	for wg := range waitGroupCalls(pass, body, "Done") {
+		if _, ok := waitGroupCalls(pass, encl, "Wait")[wg]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func waitGroupCalls(pass *Pass, body *ast.BlockStmt, method string) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if isWaitGroupType(pass.TypesInfo.TypeOf(sel.X)) {
+			out[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// hasClosePairing reports a range over channel ch in the goroutine body
+// paired with close(ch) (same spelling) in the spawning function.
+func hasClosePairing(pass *Pass, body, encl *ast.BlockStmt) bool {
+	if encl == nil {
+		return false
+	}
+	closed := map[string]bool{}
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+			closed[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	if len(closed) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && isChannelType(pass.TypesInfo.TypeOf(r.X)) {
+			if closed[types.ExprString(r.X)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChannelType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isStructChanType matches chan struct{} / <-chan struct{}.
+func isStructChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

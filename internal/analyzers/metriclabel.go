@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Metriclabel keeps the obs metric registry's label cardinality bounded —
+// the failure PR 7 guarded by hand when scenario names (attacker-chosen
+// bytes) first flowed toward a metric label. Every child of a labeled vec
+// lives forever in the registry, so an unbounded label value is a slow
+// memory leak and a metrics-page DoS.
+//
+// A value passed to (*obs.CounterVec).With must be statically bounded:
+//
+//   - a constant (literal, named const, or constant expression), or
+//   - the result of a fold helper — a function whose name ends in "Label",
+//     the repo's convention for "this function owns the boundedness
+//     argument" (scenarioLabel folds unknown names to "other" under a hard
+//     cap; codeLabel folds out-of-range status codes).
+//
+// Anything else — a request path segment, a map key, a formatted string —
+// is flagged. If the value is bounded for a reason the analyzer cannot
+// see, route it through a trivial *Label helper documenting that reason
+// rather than annotating call sites one by one.
+var Metriclabel = &Analyzer{
+	Name: "metriclabel",
+	Doc: "flags obs metric-vec label values that are neither constants " +
+		"nor routed through a bounded *Label fold helper",
+	Run: runMetriclabel,
+}
+
+func runMetriclabel(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Name() != "With" ||
+				fn.Pkg().Path() != "nanometer/internal/obs" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			if pass.TypesInfo.Types[arg].Value != nil {
+				return true // constant: bounded by definition
+			}
+			if c, ok := arg.(*ast.CallExpr); ok {
+				if cf := calledFunc(pass, c); cf != nil && strings.HasSuffix(cf.Name(), "Label") {
+					return true // fold helper owns the boundedness argument
+				}
+			}
+			pass.Reportf(arg.Pos(),
+				"metric label value is not statically bounded: pass a constant "+
+					"or fold through a *Label helper (each distinct value becomes "+
+					"a permanent registry child)")
+			return true
+		})
+	}
+	return nil
+}

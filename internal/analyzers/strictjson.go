@@ -1,0 +1,150 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Strictjson generalizes the strict-parse pattern PRs 7 and 9 established
+// by hand at the trace/scenario boundaries: JSON that crosses an API
+// boundary is decoded with unknown fields rejected and the byte stream
+// bounded, so version skew surfaces as a loud parse error instead of
+// silently dropped fields, and a hostile peer cannot balloon memory.
+//
+// In the boundary packages (serve, scenario, trace, store, jobs):
+//
+//   - every json.NewDecoder must read from a bounded source —
+//     bytes.NewReader/NewBuffer or strings.NewReader over already-held
+//     bytes, io.LimitReader, or http.MaxBytesReader — never a raw body or
+//     stream;
+//   - the decoder must call DisallowUnknownFields() in the same function
+//     before decoding;
+//   - json.Unmarshal is flagged outright: it ignores unknown fields and
+//     trailing garbage. Use the strict decoder helper pattern instead, or
+//     annotate the rare trusted-input site.
+var Strictjson = &Analyzer{
+	Name: "strictjson",
+	Doc: "requires API-boundary JSON decoding to bound its input and set " +
+		"DisallowUnknownFields (json.Unmarshal is flagged as lax)",
+	Scope: []string{
+		"nanometer/internal/serve",
+		"nanometer/internal/scenario",
+		"nanometer/internal/trace",
+		"nanometer/internal/store",
+		"nanometer/internal/jobs",
+	},
+	Run: runStrictjson,
+}
+
+// boundedReaderMakers are the constructors whose result is an acceptable
+// decoder source: either the bytes are already in memory (length-checked
+// by the caller) or the reader itself enforces a cap.
+var boundedReaderMakers = map[string]map[string]bool{
+	"bytes":    {"NewReader": true, "NewBuffer": true},
+	"strings":  {"NewReader": true},
+	"io":       {"LimitReader": true},
+	"net/http": {"MaxBytesReader": true},
+}
+
+func runStrictjson(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkStrictjsonFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkStrictjsonFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: objects of decoder variables that call DisallowUnknownFields.
+	strict := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				strict[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: every NewDecoder / Unmarshal site.
+	ast.Inspect(body, func(n ast.Node) bool {
+		// `dec := json.NewDecoder(...)` binds the decoder we can vouch for.
+		if assign, ok := n.(*ast.AssignStmt); ok && len(assign.Rhs) == 1 && len(assign.Lhs) == 1 {
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok && isPkgFunc(pass, call, "encoding/json", "NewDecoder") {
+				checkDecoderSource(pass, call)
+				id, ok := assign.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || !strict[obj] {
+					pass.Reportf(call.Pos(),
+						"json decoder never calls DisallowUnknownFields: unknown "+
+							"fields from version skew would be dropped silently")
+				}
+				return true
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pass, call, "encoding/json", "Unmarshal") {
+			pass.Reportf(call.Pos(),
+				"json.Unmarshal is lax at an API boundary (unknown fields and "+
+					"trailing data pass): decode with DisallowUnknownFields and a "+
+					"trailing-data check, or annotate //lint:allow strictjson <reason>")
+			return true
+		}
+		// An inline json.NewDecoder(...).Decode(&v) never had the chance
+		// to go strict.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if inner, ok := sel.X.(*ast.CallExpr); ok && isPkgFunc(pass, inner, "encoding/json", "NewDecoder") {
+				checkDecoderSource(pass, inner)
+				pass.Reportf(inner.Pos(),
+					"inline json decoder cannot call DisallowUnknownFields: bind "+
+						"it to a variable and go strict")
+			}
+		}
+		return true
+	})
+}
+
+// checkDecoderSource validates the reader handed to json.NewDecoder.
+func checkDecoderSource(pass *Pass, newDecoder *ast.CallExpr) {
+	if len(newDecoder.Args) != 1 {
+		return
+	}
+	if call, ok := newDecoder.Args[0].(*ast.CallExpr); ok {
+		if fn := calledFunc(pass, call); fn != nil && fn.Pkg() != nil {
+			if boundedReaderMakers[fn.Pkg().Path()][fn.Name()] {
+				return
+			}
+		}
+	}
+	pass.Reportf(newDecoder.Args[0].Pos(),
+		"json decoder reads an unbounded stream: wrap the source in "+
+			"http.MaxBytesReader/io.LimitReader or decode length-checked "+
+			"bytes via bytes.NewReader")
+}
+
+func isPkgFunc(pass *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calledFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

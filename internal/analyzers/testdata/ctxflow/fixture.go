@@ -1,0 +1,60 @@
+// The ctxflow fixture: blocking compute calls need a cancellation signal
+// in scope, fresh root contexts are banned mid-stack, and a ctx
+// parameter must come first. Checked under the in-scope import path
+// nanometer/internal/serve.
+package fixture
+
+import (
+	"context"
+	"net/http"
+
+	"nanometer/internal/mathx"
+)
+
+// orphanSolve calls a blocking solver with no ctx anywhere: the core
+// violation class.
+func orphanSolve(a [][]float64, b []float64) ([]float64, error) {
+	return mathx.SolveDense(a, b) // want "mathx.SolveDense can block but no cancellation signal is in scope"
+}
+
+// ctxSolve has the signal in scope: clean.
+func ctxSolve(ctx context.Context, a [][]float64, b []float64) ([]float64, error) {
+	_ = ctx
+	return mathx.SolveDense(a, b)
+}
+
+// handlerSolve derives its signal from the request: clean.
+func handlerSolve(w http.ResponseWriter, r *http.Request, a [][]float64, b []float64) {
+	_, _ = mathx.SolveDense(a, b)
+}
+
+// closureSolve inherits the signal from the enclosing handler: clean.
+func closureSolve(ctx context.Context, a [][]float64, b []float64) func() {
+	return func() {
+		_, _ = mathx.SolveDense(a, b)
+	}
+}
+
+// freshRoot manufactures a context mid-stack instead of accepting its
+// caller's: banned.
+func freshRoot() context.Context {
+	return context.Background() // want "context.Background\\(\\) is banned here"
+}
+
+// freshTODO is the same violation through the other constructor.
+func freshTODO() context.Context {
+	return context.TODO() // want "context.TODO\\(\\) is banned here"
+}
+
+// lifecycleRoot owns its own shutdown, which is the documented annotation
+// case: suppressed with a reason.
+func lifecycleRoot() (context.Context, context.CancelFunc) {
+	//lint:allow ctxflow fixture lifecycle root owns its shutdown
+	return context.WithCancel(context.Background())
+}
+
+// buriedCtx hides the context behind another parameter: rule 3.
+func buriedCtx(n int, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = n
+	_ = ctx
+}

@@ -1,0 +1,109 @@
+// The goexit fixture: every spawned goroutine must carry a provable exit
+// path — a signal-channel receive, a bounded loop, or a same-function
+// WaitGroup/close pairing — or an explicit allow.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// spin is the violation class: an unbounded loop with no exit signal.
+func spin() {
+	go func() { // want "goroutine has an unbounded loop and no provable exit path"
+		for {
+		}
+	}()
+}
+
+// watched selects on ctx.Done inside the loop: clean.
+func watched(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// doneChan uses the repo's plain done-channel convention: clean.
+func doneChan(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// bounded loops terminate when their calls do: no hazard, clean.
+func bounded(items []int) {
+	go func() {
+		for range items {
+		}
+	}()
+}
+
+// paired ranges a channel the spawner closes, and the spawner also Waits
+// on the WaitGroup the body Dones: either pairing alone suffices.
+func paired(items []int) {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// named spawns a same-package function: the analyzer proves the exit
+// through its body (drain selects on its done channel).
+func named(done chan struct{}) {
+	go drain(done)
+}
+
+func drain(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		}
+	}
+}
+
+// opaque spawns a function value the analyzer cannot see into: it must be
+// annotated.
+func opaque(f func()) {
+	go f() // want "goroutine body is outside this package: exit cannot be proved"
+}
+
+// opaqueAllowed is the annotated version of the same shape.
+func opaqueAllowed(f func()) {
+	//lint:allow goexit fixture callback documented to return promptly
+	go f()
+}
+
+// spinAllowed documents a deliberate run-to-completion goroutine.
+func spinAllowed(n *int) {
+	//lint:allow goexit fixture burn-in loop exits with the process
+	go func() {
+		for {
+			*n++
+		}
+	}()
+}

@@ -1,0 +1,46 @@
+// The metriclabel fixture: values reaching (*obs.CounterVec).With must be
+// constants or flow through a *Label fold helper, because every distinct
+// value becomes a permanent registry child.
+package fixture
+
+import (
+	"strconv"
+
+	"nanometer/internal/obs"
+)
+
+const okState = "ok"
+
+// record exercises the bounded shapes: literals, named constants, and
+// fold-helper results are all clean.
+func record(vec *obs.CounterVec, code int) {
+	vec.With("hit").Inc()
+	vec.With(okState).Inc()
+	vec.With(codeLabel(code)).Inc()
+}
+
+// codeLabel is a fold helper by the repo's naming convention: it owns the
+// boundedness argument (out-of-range codes collapse to "other").
+func codeLabel(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code)
+}
+
+// leak feeds attacker-reachable bytes straight into the label set.
+func leak(vec *obs.CounterVec, name string) {
+	vec.With(name).Inc() // want "metric label value is not statically bounded"
+}
+
+// formatted is the subtler spelling of the same leak.
+func formatted(vec *obs.CounterVec, shard int) {
+	vec.With("shard-" + strconv.Itoa(shard)).Inc() // want "metric label value is not statically bounded"
+}
+
+// leakAllowed documents a bounded-for-invisible-reasons site; the doc
+// steers toward a *Label helper, but the allow hatch must still work.
+func leakAllowed(vec *obs.CounterVec, name string) {
+	//lint:allow metriclabel fixture caller enumerates a fixed set
+	vec.With(name).Inc()
+}

@@ -1,0 +1,78 @@
+// The strictjson fixture: API-boundary JSON must be decoded strictly
+// (DisallowUnknownFields) from a bounded source, and json.Unmarshal is
+// flagged as lax. Checked under the in-scope import path
+// nanometer/internal/serve.
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+type payload struct {
+	Name string `json:"name"`
+}
+
+// decodeStrict is the blessed pattern: held bytes, strict decoder,
+// trailing-data check. Clean.
+func decodeStrict(data []byte) (payload, error) {
+	var p payload
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return payload{}, err
+	}
+	if dec.More() {
+		return payload{}, fmt.Errorf("trailing data")
+	}
+	return p, nil
+}
+
+// decodeCapped bounds a live request body instead of holding bytes: also
+// clean.
+func decodeCapped(w http.ResponseWriter, r *http.Request) (payload, error) {
+	var p payload
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return p, dec.Decode(&p)
+}
+
+// decodeLax never goes strict: version-skewed fields would vanish.
+func decodeLax(data []byte) (payload, error) {
+	var p payload
+	dec := json.NewDecoder(bytes.NewReader(data)) // want "json decoder never calls DisallowUnknownFields"
+	return p, dec.Decode(&p)
+}
+
+// decodeUnbounded reads a raw stream straight into the decoder.
+func decodeUnbounded(r io.Reader) (payload, error) {
+	var p payload
+	dec := json.NewDecoder(r) // want "json decoder reads an unbounded stream"
+	dec.DisallowUnknownFields()
+	return p, dec.Decode(&p)
+}
+
+// decodeInline can never call DisallowUnknownFields at all.
+func decodeInline(data []byte) (payload, error) {
+	var p payload
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&p) // want "inline json decoder cannot call DisallowUnknownFields"
+	return p, err
+}
+
+// unmarshal is flagged outright.
+func unmarshal(data []byte) (payload, error) {
+	var p payload
+	err := json.Unmarshal(data, &p) // want "json.Unmarshal is lax at an API boundary"
+	return p, err
+}
+
+// unmarshalTrusted documents the rare trusted-input site with an allow.
+func unmarshalTrusted(data []byte) (payload, error) {
+	var p payload
+	//lint:allow strictjson fixture decodes bytes this process encoded
+	err := json.Unmarshal(data, &p)
+	return p, err
+}

@@ -81,15 +81,15 @@ type Job struct {
 	done   chan struct{}
 
 	mu       sync.Mutex
-	state    State
-	cached   bool
-	err      error
-	res      *result.Result
-	chunks   []trace.Progress
-	notify   chan struct{}
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	state    State            // guarded by mu
+	cached   bool             // guarded by mu
+	err      error            // guarded by mu
+	res      *result.Result   // guarded by mu
+	chunks   []trace.Progress // guarded by mu
+	notify   chan struct{}    // guarded by mu
+	created  time.Time        // guarded by mu
+	started  time.Time        // guarded by mu
+	finished time.Time        // guarded by mu
 }
 
 // Snapshot is a point-in-time view of a job, JSON-shaped for the API.
@@ -212,11 +212,11 @@ type Queue struct {
 	OnFinish func(s State, cached bool)
 
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	active int
-	seq    int
-	closed bool
+	jobs   map[string]*Job // guarded by mu
+	order  []string        // guarded by mu
+	active int             // guarded by mu
+	seq    int             // guarded by mu
+	closed bool            // guarded by mu
 }
 
 // New builds a Queue from cfg.
@@ -230,6 +230,9 @@ func New(cfg Config) *Queue {
 	if cfg.MaxFinished <= 0 {
 		cfg.MaxFinished = 64
 	}
+	// The queue is a lifecycle root: it owns its jobs' base context and
+	// Close cancels it, so there is no caller ctx to thread.
+	//lint:allow ctxflow queue is a lifecycle root; Close cancels this ctx
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Queue{
 		cfg:        cfg,
@@ -248,6 +251,9 @@ func (q *Queue) Submit(tr *trace.Trace) (*Job, error) {
 	// Store consult before taking the queue lock: Get may touch disk.
 	var cachedRes *result.Result
 	if q.cfg.Store != nil {
+		// One bounded local file read; the job's own cancelable context
+		// does not exist yet (it is created under the queue lock below).
+		//lint:allow ctxflow store probe is one bounded local read, pre-ctx
 		if res, ok := q.cfg.Store.Get(tr.ArtifactID(), tr.Key()); ok {
 			cachedRes = res
 		}
@@ -275,10 +281,16 @@ func (q *Queue) Submit(tr *trace.Trace) (*Job, error) {
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
 	if cachedRes != nil {
+		// The job is already published in q.jobs, so take its own lock for
+		// the terminal-state writes: readers reach it via Get (under q.mu,
+		// which orders them after this block), but the field contract is
+		// j.mu and keeping it locally checkable costs one uncontended lock.
+		j.mu.Lock()
 		j.state = StateDone
 		j.cached = true
 		j.res = cachedRes
 		j.finished = j.created
+		j.mu.Unlock()
 		cancel()
 		close(j.done)
 		q.evictLocked()
@@ -292,7 +304,7 @@ func (q *Queue) Submit(tr *trace.Trace) (*Job, error) {
 	q.evictLocked()
 	q.mu.Unlock()
 	q.wg.Add(1)
-	go q.run(j, ctx)
+	go q.run(ctx, j)
 	return j, nil
 }
 
@@ -347,7 +359,7 @@ func (q *Queue) Close() {
 }
 
 // run executes one job: worker slot → admission → simulate → persist.
-func (q *Queue) run(j *Job, ctx context.Context) {
+func (q *Queue) run(ctx context.Context, j *Job) {
 	defer q.wg.Done()
 	select {
 	case q.sem <- struct{}{}:

@@ -28,7 +28,7 @@ import (
 // Prometheus text format. The zero value is ready to use.
 type Registry struct {
 	mu   sync.Mutex
-	fams []*family
+	fams []*family // guarded by mu
 }
 
 // family is one named metric with HELP/TYPE headers and a snapshot
@@ -151,7 +151,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 type CounterVec struct {
 	key      string
 	mu       sync.Mutex
-	children map[string]*Counter
+	children map[string]*Counter // guarded by mu
 }
 
 // With returns (creating on first use) the child counter for the label

@@ -48,7 +48,7 @@ const maxCachedAssemblies = 8
 
 var assemblyEvict struct {
 	mu sync.Mutex
-	n  int
+	n  int // guarded by mu
 }
 
 // assemblyFor returns the cached pattern for an n×n mesh, deriving it on

@@ -84,6 +84,9 @@ func solveMeshChunk(meshes []*Mesh, drops []float64) (err error) {
 		}
 		wss[v], pres[v], mats[v], bs[v] = &sv.ws, sv.mg, mat, sv.rhs
 	}
+	// Same per-artifact cancellation-granularity decision as Mesh.Solve:
+	// one batch is bounded work, ctx checks live upstream.
+	//lint:allow ctxflow solver kernel; cancellation is per-artifact upstream
 	sols, iters, errs := mathx.SolveMGBatchW(wss, pres, mats, bs, 1e-10, 20*asm.cnt)
 	for v, e := range errs {
 		if e != nil {
@@ -127,7 +130,7 @@ type primedEntry struct {
 // values cannot shadow a future model change indefinitely.
 var primedDrops struct {
 	mu sync.Mutex
-	m  map[primeKey]*primedEntry
+	m  map[primeKey]*primedEntry // guarded by mu
 }
 
 const maxPrimedDrops = 1024

@@ -103,6 +103,11 @@ func (m *Mesh) Solve() (maxDropV float64, err error) {
 	// mathx iteration-count test pins ≤ 25 through n = 255). The solution
 	// aliases the pooled workspace, so the max-drop reduction below must
 	// happen before the solver is pooled.
+	// Cancellation granularity is deliberately per-artifact: the runner and
+	// jobs layers check ctx between computes, and a single mesh solve is
+	// bounded (≤ 25 MG-CG iterations by the mathx pin), so threading ctx
+	// into the kernel would buy nothing but signature churn.
+	//lint:allow ctxflow solver kernel; cancellation is per-artifact upstream
 	sol, iters, err := mat.SolveMGW(&sv.ws, sv.mg, sv.rhs, 1e-10, 20*asm.cnt)
 	if err != nil {
 		return 0, fmt.Errorf("powergrid: mesh solve: %w", err)
@@ -195,6 +200,9 @@ func (l *Ladder) Solve() (float64, error) {
 		}
 		b[i] = l.TapCurrentA
 	}
+	// Tridiagonal n≤1024 system solved in microseconds; see Mesh.Solve for
+	// the per-artifact cancellation-granularity decision.
+	//lint:allow ctxflow bounded analytic ladder solve; cancel is upstream
 	v, err := mathx.SolveDense(a, b)
 	if err != nil {
 		return 0, err

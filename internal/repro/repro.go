@@ -265,6 +265,9 @@ func EncodeJobs(arts []Artifact, opts Options, enc Encoder) []runner.Job {
 // slot; the per-artifact failures are aggregated in the returned error and
 // the healthy results are still usable.
 func ComputeAll(pool runner.Pool, arts []Artifact, opts Options) ([]*result.Result, error) {
+	// Compat wrapper for the CLI path, which runs to completion by design;
+	// cancelable callers use ComputeAllCtx.
+	//lint:allow ctxflow uncancelable CLI compat shim over ComputeAllCtx
 	return ComputeAllCtx(context.Background(), pool, arts, opts)
 }
 

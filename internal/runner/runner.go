@@ -61,6 +61,9 @@ func (p Pool) Run(jobs []Job) []Result {
 // The returned error reports sink write failures only; per-job errors are in
 // the results (aggregate them with Errs).
 func (p Pool) RunTo(sink io.Writer, jobs []Job) ([]Result, error) {
+	// Compat wrapper for the CLI path, which runs to completion by design;
+	// cancelable callers use RunToContext.
+	//lint:allow ctxflow uncancelable CLI compat shim over RunToContext
 	return p.RunToContext(context.Background(), sink, jobs)
 }
 

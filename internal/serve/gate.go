@@ -16,9 +16,10 @@ import (
 type gate struct {
 	cap int64
 
-	mu      sync.Mutex
-	cur     int64
-	waiters list.List // of *gateWaiter, FIFO
+	mu  sync.Mutex
+	cur int64 // guarded by mu
+	// waiters holds *gateWaiter values, FIFO.
+	waiters list.List // guarded by mu
 }
 
 type gateWaiter struct {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -106,9 +107,17 @@ func (p *peerSet) fetch(ctx context.Context, addr, id string, opts repro.Options
 	if len(body) > maxPeerResponseBytes {
 		return nil, fmt.Errorf("peer %s: response exceeds %d bytes", addr, maxPeerResponseBytes)
 	}
+	// Strict decode: a peer running a newer schema (unknown fields) or
+	// sending trailing bytes is version skew to refuse loudly, then fall
+	// through to a local solve — not data to half-trust.
 	var res result.Result
-	if err := json.Unmarshal(body, &res); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&res); err != nil {
 		return nil, fmt.Errorf("peer %s: %w", addr, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("peer %s: trailing data after result", addr)
 	}
 	if err := res.Validate(); err != nil {
 		return nil, fmt.Errorf("peer %s: %w", addr, err)

@@ -100,7 +100,7 @@ type Server struct {
 	// scenarioNames is the admitted metrics-label set for scenario names
 	// (bounded; see scenarioLabel).
 	labelMu       sync.Mutex
-	scenarioNames map[string]bool
+	scenarioNames map[string]bool // guarded by labelMu
 }
 
 // New builds a Server from cfg.
@@ -161,7 +161,7 @@ func New(cfg Config) *Server {
 	s.jobq = jobsvc.New(jcfg)
 	s.met = newMetrics(s.gate, s.store, s.jobq)
 	s.jobq.OnFinish = func(state jobsvc.State, cached bool) {
-		s.met.jobsFinished.With(string(state)).Inc()
+		s.met.jobsFinished.With(stateLabel(state)).Inc()
 		if cached {
 			s.met.jobsCached.Inc()
 		}
@@ -216,7 +216,7 @@ func (s *Server) Handler() http.Handler {
 		defer s.met.inFlight.Dec()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		s.mux.ServeHTTP(rec, r)
-		s.met.requests.With(strconv.Itoa(rec.code)).Inc()
+		s.met.requests.With(codeLabel(rec.code)).Inc()
 		s.met.duration.Observe(time.Since(start).Seconds())
 	})
 }
@@ -351,7 +351,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, wt int64) fun
 // timeout the handler answers 504 and walks away; the goroutine keeps
 // running to completion (its result lands in the compute cache, so the
 // client's retry is a hit) and releases its gate units when done.
-func await[T any](s *Server, ctx context.Context, w http.ResponseWriter, ch <-chan T) (T, bool) {
+func await[T any](ctx context.Context, s *Server, w http.ResponseWriter, ch <-chan T) (T, bool) {
 	select {
 	case v := <-ch:
 		return v, true
@@ -391,7 +391,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusNotFound, "unknown artifact %q (GET /api/v1/artifacts for the index)", id)
 		return
 	}
-	s.met.artifactTotal.With(id).Inc()
+	s.met.artifactTotal.With(artifactLabel(a)).Inc()
 	opts, format, err := requestOptions(r)
 	if err != nil {
 		apiError(w, http.StatusBadRequest, "%v", err)
@@ -476,11 +476,11 @@ func (s *Server) produceResult(w http.ResponseWriter, r *http.Request, a repro.A
 		defer release()
 		start := time.Now()
 		res, err := s.computeArtifact(ctx, a, opts, allowPeers)
-		s.met.computeSeconds.With(a.ID).Add(time.Since(start).Seconds())
+		s.met.computeSeconds.With(artifactLabel(a)).Add(time.Since(start).Seconds())
 		s.flights.finish(key, f, res, err, false)
 		ch <- outcome{res, err}
 	}()
-	out, ok := await(s, ctx, w, ch)
+	out, ok := await(ctx, s, w, ch)
 	if !ok {
 		return nil, false
 	}
@@ -578,10 +578,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	ch := make(chan outcome, 1)
 	go func() {
 		defer release()
-		body, err := s.encodeReport(opts, format)
+		body, err := s.encodeReport(ctx, opts, format)
 		ch <- outcome{body, err}
 	}()
-	out, ok := await(s, ctx, w, ch)
+	out, ok := await(ctx, s, w, ch)
 	if !ok {
 		return
 	}
@@ -623,13 +623,16 @@ func encodeOne(res *result.Result, opts repro.Options, format string) ([]byte, e
 
 // encodeReport renders the whole registry through the same pool paths the
 // CLI uses, so the bytes match `nanorepro` for the same options and worker
-// non-determinism stays impossible.
-func (s *Server) encodeReport(opts repro.Options, format string) ([]byte, error) {
+// non-determinism stays impossible. ctx is the request's: a report whose
+// client has gone away stops launching artifacts (the ones already solving
+// run to completion and still land in the compute cache, exactly like the
+// single-artifact path).
+func (s *Server) encodeReport(ctx context.Context, opts repro.Options, format string) ([]byte, error) {
 	pool := runner.Pool{Workers: s.jobs}
 	var buf bytes.Buffer
 	switch format {
 	case "json":
-		results, aggErr := repro.ComputeAll(pool, s.order, opts)
+		results, aggErr := repro.ComputeAllCtx(ctx, pool, s.order, opts)
 		if aggErr != nil {
 			return nil, aggErr
 		}
@@ -638,7 +641,7 @@ func (s *Server) encodeReport(opts repro.Options, format string) ([]byte, error)
 			return nil, err
 		}
 	case "csv":
-		results, sinkErr := pool.RunTo(&buf, repro.EncodeJobs(s.order, opts, render.CSV{}))
+		results, sinkErr := pool.RunToContext(ctx, &buf, repro.EncodeJobs(s.order, opts, render.CSV{}))
 		if sinkErr != nil {
 			return nil, sinkErr
 		}
@@ -646,7 +649,7 @@ func (s *Server) encodeReport(opts repro.Options, format string) ([]byte, error)
 			return nil, agg
 		}
 	default:
-		results, sinkErr := pool.RunTo(&buf, repro.Jobs(s.order, opts))
+		results, sinkErr := pool.RunToContext(ctx, &buf, repro.Jobs(s.order, opts))
 		if sinkErr != nil {
 			return nil, sinkErr
 		}

@@ -286,6 +286,50 @@ func TestPeerRejectsWrongResult(t *testing.T) {
 	}
 }
 
+// TestPeerRejectsSkewedResult: a peer answering with otherwise-valid JSON
+// from a newer schema (an unknown field) or with trailing bytes is a
+// fall-through, not a silent partial decode — peer exchange is strict in
+// both directions so version skew across replicas surfaces loudly.
+func TestPeerRejectsSkewedResult(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"unknown-field": func(b []byte) []byte {
+			return append([]byte(`{"future_field":1,`), b[1:]...)
+		},
+		"trailing-data": func(b []byte) []byte {
+			return append(b, []byte("{}")...)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			repro.ResetCache()
+			defer repro.ResetCache()
+			var computes atomic.Int64
+			arts := []repro.Artifact{counting("skewed", &computes, 0, nil)}
+			good := &result.Result{ID: "skewed", Title: "count 1"}
+			good.AddTable(&result.Table{Title: "x", Headers: []string{"h"}, Rows: [][]string{{"v"}}})
+			body, err := json.Marshal(good)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				w.Write(mangle(body))
+			}))
+			defer peer.Close()
+
+			s := New(Config{Artifacts: arts, Peers: []string{strings.TrimPrefix(peer.URL, "http://")}, Self: "self:0"})
+			rec := get(t, s.Handler(), "/api/v1/artifacts/skewed", nil)
+			if rec.Code != 200 {
+				t.Fatalf("request = %d, want 200", rec.Code)
+			}
+			if n := computes.Load(); n != 1 {
+				t.Fatalf("local solve ran %d times, want 1 (skewed peer result must fall through)", n)
+			}
+			if got := s.met.peerFallthrough.Value(); got != 1 {
+				t.Errorf("fall-through count = %v, want 1", got)
+			}
+		})
+	}
+}
+
 // TestInternalResultEndpoint: the replica-to-replica endpoint serves bare
 // typed-result JSON that a sibling can validate, and rejects bad mesh-n.
 func TestInternalResultEndpoint(t *testing.T) {

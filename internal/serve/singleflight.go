@@ -30,7 +30,7 @@ type flight struct {
 // requests hold one leader's gate weight, not N× it.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight // guarded by mu
 }
 
 func newFlightGroup() *flightGroup {

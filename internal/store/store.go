@@ -205,9 +205,17 @@ func decode(raw []byte, artifactID string) (*result.Result, error) {
 	if fields[1] != checksum(payload) {
 		return nil, fmt.Errorf("store: checksum mismatch")
 	}
+	// Strict decode: a file written by a future schema (extra fields) or
+	// carrying trailing bytes is a corrupt entry — miss and recompute —
+	// never a silently truncated result.
 	var res result.Result
-	if err := json.Unmarshal(payload, &res); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&res); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("store: trailing data after result")
 	}
 	if err := res.Validate(); err != nil {
 		return nil, err

@@ -19,6 +19,16 @@ func sample(id string) *result.Result {
 	return r
 }
 
+// frame wraps a payload in a valid store header (correct checksum and
+// length), so damage tests can target the payload contents specifically.
+func frame(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(header + " " + checksum(payload) + " ")
+	buf.WriteString(strconv.Itoa(len(payload)) + "\n")
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
 func open(t *testing.T, cfg Config) *Store {
 	t.Helper()
 	if cfg.Dir == "" {
@@ -69,11 +79,20 @@ func TestCorruptFallThrough(t *testing.T) {
 			// (e.g. a hash collision or a tampered rename) must not be
 			// served under this key.
 			other, _ := json.Marshal(sample("zz"))
-			var buf bytes.Buffer
-			buf.WriteString(header + " " + checksum(other) + " ")
-			buf.WriteString(strconv.Itoa(len(other)) + "\n")
-			buf.Write(other)
-			return buf.Bytes()
+			return frame(other)
+		},
+		"unknown-field": func(b []byte) []byte {
+			// A validly checksummed file written by a future schema: the
+			// strict decoder must treat the unknown field as corruption
+			// (miss and recompute), not silently drop it.
+			payload, _ := json.Marshal(sample("t2"))
+			payload = append([]byte(`{"future_field":1,`), payload[1:]...)
+			return frame(payload)
+		},
+		"trailing-data": func(b []byte) []byte {
+			// A second JSON value after the result must not be ignored.
+			payload, _ := json.Marshal(sample("t2"))
+			return frame(append(payload, []byte("{}")...))
 		},
 	} {
 		t.Run(name, func(t *testing.T) {
